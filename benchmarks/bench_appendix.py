@@ -1,0 +1,76 @@
+"""Benches: appendix Figures 7–11 — the full-dataset figure extensions."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_figure7(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("figure7", scale=bench_scale, n_events_list=(3,)),
+    )
+    print()
+    print(result.text)
+    # repetition share decreases (or stays flat) toward only-ΔC everywhere
+    for name, per_size in result.data.items():
+        per_config = per_size["3e"]
+        assert per_config["only-ΔC"]["R"] <= per_config["only-ΔW"]["R"] + 0.02, name
+
+
+def test_figure8(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("figure8", scale=bench_scale, n_events_list=(3,)),
+    )
+    print()
+    print(result.text)
+    for name, per_size in result.data.items():
+        per_config = per_size["3e"]
+        assert sum(per_config["only-ΔW"].values()) > 0.99, name
+
+
+def test_figure9(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("figure9", scale=bench_scale)
+    )
+    print()
+    print(result.text)
+    # regularization holds on every panel with a stable sample
+    for panel, per_config in result.data.items():
+        w = per_config["only-ΔW"]
+        c = per_config["only-ΔC"]
+        if min(w["samples"], c["samples"]) < 50:
+            continue
+        assert abs(c["skew"]) <= abs(w["skew"]) + 0.05, panel
+
+
+def test_figure10(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("figure10", scale=bench_scale)
+    )
+    print()
+    print(result.text)
+    for name, per_config in result.data.items():
+        if per_config["only-ΔW"]["summary"].count < 50:
+            continue
+        assert per_config["only-ΔW"]["summary"].maximum <= 3000, name
+        assert (
+            per_config["only-ΔW"]["uniformity"]
+            >= per_config["only-ΔC"]["uniformity"] - 0.05
+        ), name
+
+
+def test_figure11(benchmark, bench_scale):
+    import numpy as np
+
+    result = run_once(
+        benchmark, lambda: run_experiment("figure11", scale=bench_scale)
+    )
+    print()
+    print(result.text)
+    for name, entry in result.data.items():
+        matrix = np.array(entry["matrix"])
+        if matrix.sum() < 100:
+            continue
+        assert entry["asymmetries"]["C_then_O_vs_O_then_C"] > 0, name

@@ -1,0 +1,12 @@
+"""Bench: Figure 1 — four candidate motifs judged by the four models."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_figure1(benchmark):
+    result = run_once(benchmark, lambda: run_experiment("figure1"))
+    print()
+    print(result.text)
+    assert result.data["agreement"], "validity matrix deviates from the paper"

@@ -1,0 +1,30 @@
+"""Bench: Figure 3 — event-pair ratio pies, only-ΔW vs only-ΔC."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_figure3(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("figure3", scale=bench_scale),
+    )
+    print()
+    print(result.text)
+
+    data = result.data
+    # Paper shapes:
+    # 1. Repetition share decreases from only-ΔW to only-ΔC (both panels).
+    for name, per_size in data.items():
+        for size, per_config in per_size.items():
+            r_w = per_config["only-ΔW"]["R"]
+            r_c = per_config["only-ΔC"]["R"]
+            assert r_c <= r_w + 0.02, (name, size)
+    # 2. StackOverflow's in-burst share increases under only-ΔC (answers
+    #    arrive from many users in a short period).
+    so3 = data["stackoverflow"]["3e"]
+    assert so3["only-ΔC"]["I"] >= so3["only-ΔW"]["I"] - 0.02
+    # 3. Q&A in-burst share exceeds the calls network's in-burst share.
+    calls3 = data["calls-copenhagen"]["3e"]
+    assert so3["only-ΔC"]["I"] > calls3["only-ΔC"]["I"]

@@ -1,0 +1,27 @@
+"""Bench: Figure 4 — intermediate event occurrence positions."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_figure4(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("figure4", scale=bench_scale)
+    )
+    print()
+    print(result.text)
+
+    data = result.data
+    # Paper shape: enforcing ΔC regularizes the skew — |skew| in only-ΔC is
+    # no larger than in only-ΔW for every panel with enough samples.
+    for panel, per_config in data.items():
+        w = per_config["only-ΔW"]
+        c = per_config["only-ΔC"]
+        if min(w["samples"], c["samples"]) < 50:
+            continue  # too few instances for a stable estimate
+        assert abs(c["skew"]) <= abs(w["skew"]) + 0.03, panel
+    # Direction check for the repetition-first motif: the second event
+    # piles up near the first (negative skew) under only-ΔW.
+    sms = data["sms-copenhagen:010102"]["only-ΔW"]
+    assert sms["skew"] < 0

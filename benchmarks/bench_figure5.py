@@ -1,0 +1,26 @@
+"""Bench: Figure 5 — motif timespan distributions across configs."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_figure5(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("figure5", scale=bench_scale)
+    )
+    print()
+    print(result.text)
+
+    data = result.data
+    for name, per_config in data.items():
+        only_c = per_config["only-ΔC"]
+        only_w = per_config["only-ΔW"]
+        if only_c["summary"].count < 50 or only_w["summary"].count < 50:
+            continue
+        # 1. Distributions regularize toward only-ΔW (uniformity rises).
+        assert only_w["uniformity"] >= only_c["uniformity"] - 0.03, name
+        # 2. Only-ΔW hard-caps the timespan at ΔW = 3000 s.
+        assert only_w["summary"].maximum <= 3000, name
+        # 3. Instance sets grow with the ΔC/ΔW ratio (subset property).
+        assert only_w["summary"].count >= only_c["summary"].count, name

@@ -1,0 +1,43 @@
+"""Bench: Figure 6 — ordered pair-sequence heat maps and asymmetries."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_experiment
+from repro.core.eventpairs import ALL_PAIR_TYPES, PairType
+
+W_INDEX = list(ALL_PAIR_TYPES).index(PairType.WEAKLY_CONNECTED)
+R_INDEX = list(ALL_PAIR_TYPES).index(PairType.REPETITION)
+
+
+def test_figure6(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("figure6", scale=bench_scale)
+    )
+    print()
+    print(result.text)
+
+    data = result.data
+    for name, entry in data.items():
+        matrix = np.array(entry["matrix"])
+        total = matrix.sum()
+        if total < 100:
+            continue
+        # 1. Weakly-connected sequences are rare (paper: "only a few motifs
+        #    are formed by sequences including weakly-connected pairs").
+        w_mass = (matrix[W_INDEX].sum() + matrix[:, W_INDEX].sum()) / total
+        r_mass = (matrix[R_INDEX].sum() + matrix[:, R_INDEX].sum()) / total
+        assert w_mass < r_mass, name
+        # 2. Asymmetry: conveys are followed by out-bursts more than
+        #    out-bursts are followed by conveys.
+        assert entry["asymmetries"]["C_then_O_vs_O_then_C"] > 0, name
+    # 3. Message networks lean on ping-pong sequences (reciprocal
+    #    conversations) more than the calls network does — the paper's
+    #    "there are less motifs formed by sequences involving ping-pongs"
+    #    observation for Calls-Copenhagen.
+    def p_share(name):
+        m = np.array(data[name]["matrix"])
+        p_index = 1  # row/col of PairType.PING_PONG
+        return (m[p_index].sum() + m[:, p_index].sum()) / max(m.sum(), 1)
+
+    assert p_share("sms-a") > p_share("calls-copenhagen")

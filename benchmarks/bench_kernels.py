@@ -1,0 +1,93 @@
+"""Kernel benchmarks: the hot paths behind every experiment.
+
+Unlike the per-table reproductions (rounds=1), these are proper
+multi-round micro/meso benchmarks on fixed small inputs, for tracking the
+performance of the enumeration engine, the census, the restriction
+checkers, and the streaming matcher.
+"""
+
+import pytest
+
+from repro.algorithms.counting import count_motifs, run_census
+from repro.algorithms.pattern import chain_pattern
+from repro.algorithms.restrictions import (
+    satisfies_cdg,
+    satisfies_consecutive_events,
+)
+from repro.algorithms.streaming import match_graph
+from repro.core.constraints import TimingConstraints
+from repro.datasets.registry import get_dataset
+
+CONSTRAINTS = TimingConstraints(delta_c=1500, delta_w=3000)
+
+
+@pytest.fixture(scope="module")
+def sms():
+    return get_dataset("sms-copenhagen", scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def stackoverflow():
+    return get_dataset("stackoverflow", scale=0.25)
+
+
+def test_count_3e_motifs_sms(benchmark, sms):
+    counts = benchmark(
+        lambda: count_motifs(sms, 3, CONSTRAINTS, max_nodes=3)
+    )
+    assert sum(counts.values()) > 0
+
+
+def test_count_3e_motifs_stackoverflow(benchmark, stackoverflow):
+    counts = benchmark(
+        lambda: count_motifs(stackoverflow, 3, CONSTRAINTS, max_nodes=3)
+    )
+    assert sum(counts.values()) > 0
+
+
+def test_count_4e_motifs_sms(benchmark, sms):
+    counts = benchmark(
+        lambda: count_motifs(sms, 4, CONSTRAINTS, max_nodes=4)
+    )
+    assert sum(counts.values()) > 0
+
+
+def test_full_census_sms(benchmark, sms):
+    census = benchmark(
+        lambda: run_census(
+            sms, 3, CONSTRAINTS, max_nodes=3,
+            collect_timespans=True, collect_positions=True,
+        )
+    )
+    assert census.total > 0
+
+
+def test_consecutive_restriction_overhead(benchmark, sms):
+    counts = benchmark(
+        lambda: count_motifs(
+            sms, 3, CONSTRAINTS, max_nodes=3,
+            predicate=satisfies_consecutive_events,
+        )
+    )
+    assert sum(counts.values()) >= 0
+
+
+def test_cdg_restriction_overhead(benchmark, sms):
+    counts = benchmark(
+        lambda: count_motifs(
+            sms, 3, CONSTRAINTS, max_nodes=3, predicate=satisfies_cdg
+        )
+    )
+    assert sum(counts.values()) >= 0
+
+
+def test_streaming_chain_match(benchmark, sms):
+    matches = benchmark(
+        lambda: match_graph(sms, chain_pattern(2, total=True), delta_w=900)
+    )
+    assert isinstance(matches, list)
+
+
+def test_dataset_generation(benchmark):
+    graph = benchmark(lambda: get_dataset("college-msg", scale=0.25, seed=1))
+    assert len(graph) > 0

@@ -1,0 +1,23 @@
+"""Bench: the null-model dilemma (Section 5, comparison criteria)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_nullmodels(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("nullmodels", scale=bench_scale)
+    )
+    print()
+    print(result.text)
+
+    entry = result.data["sms-copenhagen"]
+    loose = entry["loose (P(t))"]
+    restrictive = entry["restrictive (P(Δt))"]
+    # the loose null flags the large majority of observed motifs...
+    assert loose["flagged_fraction"] > 0.7
+    # ...and collapses the total count far more than the restrictive null.
+    assert loose["count_shift"] > 2 * restrictive["count_shift"]
+    # the restrictive null "barely changes" the counts.
+    assert restrictive["count_shift"] < 0.5

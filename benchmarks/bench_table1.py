@@ -1,0 +1,12 @@
+"""Bench: Table 1 — the model aspect matrix (conceptual, near-instant)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, lambda: run_experiment("table1"))
+    print()
+    print(result.text)
+    assert result.data["mismatches"] == []

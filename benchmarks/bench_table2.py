@@ -1,0 +1,36 @@
+"""Bench: Table 2 — dataset statistics of all nine synthetic analogues."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table2(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("table2", scale=bench_scale)
+    )
+    print()
+    print(result.text)
+
+    data = result.data
+    # Paper-shape assertions (Table 2 signatures):
+    # 1. Email's cc-at-same-timestamp mechanism gives it the lowest
+    #    unique-timestamp fraction by a wide margin.
+    email = data["email"]["unique_ts_fraction"]
+    assert email < 0.75
+    assert all(
+        email <= row["unique_ts_fraction"]
+        for name, row in data.items()
+        if name != "email"
+    )
+    # 2. Bitcoin-otc: every event is a distinct directed edge.
+    assert data["bitcoin-otc"]["events"] == data["bitcoin-otc"]["edges"]
+    # 3. Bitcoin has the largest median inter-event time (paper: 707 s).
+    bitcoin_med = data["bitcoin-otc"]["median_interevent"]
+    assert all(
+        bitcoin_med >= row["median_interevent"]
+        for name, row in data.items()
+        if name != "bitcoin-otc"
+    )
+    # 4. Message networks have short medians (paper: 3–37 s band).
+    assert data["sms-copenhagen"]["median_interevent"] < 120

@@ -1,0 +1,32 @@
+"""Bench: Table 4 — constrained dynamic graphlets at 300 s resolution."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table4(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("table4", scale=bench_scale)
+    )
+    print()
+    print(result.text)
+
+    data = result.data
+    # Paper shapes:
+    # 1. Bitcoin-otc: no repeated edges -> CDG is a no-op, variance exactly 0.
+    assert data["bitcoin-otc"]["variance"] == 0.0
+    # 2. The delayed repetition 010201 loses share in the message networks
+    #    and email (paper: -0.99% .. -18.00%).
+    for name in ("sms-copenhagen", "college-msg", "email"):
+        assert data[name]["changes"]["010201"] <= 0, name
+    # 3. The immediate repetition 010102 gains share in message networks.
+    for name in ("sms-copenhagen", "college-msg", "sms-a"):
+        assert data[name]["changes"]["010102"] >= 0, name
+    # 4. Q&A sites are barely affected (paper variance 0.04-0.06, smallest
+    #    of the non-bitcoin rows).
+    qa_var = max(data["stackoverflow"]["variance"], data["superuser"]["variance"])
+    msg_var = min(
+        data["sms-copenhagen"]["variance"], data["sms-a"]["variance"]
+    )
+    assert qa_var < msg_var

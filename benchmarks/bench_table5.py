@@ -1,0 +1,34 @@
+"""Bench: Table 5 — R,P,I,O vs C,W motif groups across timing configs."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+DATASETS = ("college-msg", "fb-wall", "bitcoin-otc", "sms-copenhagen", "sms-a")
+
+
+def test_table5(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("table5", scale=bench_scale)
+    )
+    print()
+    print(result.text)
+
+    data = result.data
+    for name in DATASETS:
+        groups = data[name]
+        w, both, c = (
+            groups["only-ΔW"], groups["ΔC/ΔW=0.66"], groups["only-ΔC"]
+        )
+        # 1. Monotone decreasing counts (subset property).
+        for key in ("RPIO", "CW"):
+            assert w[key] >= both[key] >= c[key], (name, key)
+        # 2. R,P,I,O dominates C,W by a wide margin (paper: ~10x).
+        assert w["RPIO"] > 5 * max(w["CW"], 1), name
+    # 3. R,P,I,O shrinks at least as fast as C,W on the message networks
+    #    (paper's headline differential).
+    for name in ("sms-copenhagen", "college-msg", "sms-a"):
+        w, c = data[name]["only-ΔW"], data[name]["only-ΔC"]
+        rpio_ratio = c["RPIO"] / max(w["RPIO"], 1)
+        cw_ratio = c["CW"] / max(w["CW"], 1)
+        assert rpio_ratio <= cw_ratio + 0.03, name

@@ -1,0 +1,20 @@
+"""Bench: Table 6 (appendix) — full 32-motif ranking-change table."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table6(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("table6", scale=bench_scale)
+    )
+    print()
+    print(result.text)
+
+    per_dataset = result.data["rank_changes"]
+    for name, changes in per_dataset.items():
+        # all 32 motifs covered, and rank changes are a permutation delta:
+        # they sum to zero over the full universe.
+        assert len(changes) == 32, name
+        assert sum(changes.values()) == 0, name

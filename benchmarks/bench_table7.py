@@ -1,0 +1,20 @@
+"""Bench: Table 7 (appendix) — full 32-motif proportion-change table."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table7(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: run_experiment("table7", scale=bench_scale)
+    )
+    print()
+    print(result.text)
+
+    per_dataset = result.data["proportion_changes"]
+    for name, changes in per_dataset.items():
+        assert len(changes) == 32, name
+        # proportion changes over the full universe sum to ~0 (share moves
+        # between motifs, it doesn't appear or vanish).
+        assert abs(sum(changes.values())) < 1e-6, name

@@ -1,0 +1,83 @@
+"""Next-event prediction from event-pair sequences — the paper's future work.
+
+The paper's Discussion closes with: "We also intend to utilize the
+sequence of event pairs for the event prediction."  This example
+implements that idea's natural baseline: a first-order Markov model over
+the six-letter pair alphabet (R, P, I, O, C, W).
+
+Workflow:
+
+1. train the transition model on the first 70 % of a message network,
+2. inspect the learned transition matrix (the predictive twin of the
+   Figure-6 heat map),
+3. evaluate next-pair-type accuracy on the held-out suffix against the
+   marginal and random baselines,
+4. emit concrete next-event candidates after a live event.
+
+Run with:  python examples/event_prediction.py
+"""
+
+from repro import get_dataset
+from repro.analysis.textplot import heatmap
+from repro.core.eventpairs import ALL_PAIR_TYPES, PairType
+from repro.prediction import PairTransitionModel, evaluate_pair_prediction
+
+HORIZON = 900.0  # seconds within which a successor event must appear
+
+
+def main() -> None:
+    graph = get_dataset("sms-copenhagen", scale=0.6)
+    split = int(len(graph.events) * 0.7)
+    train = graph.head(split)
+    print(f"training on {len(train)} events, testing on {len(graph) - split}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 1-2. fit and inspect
+    # ------------------------------------------------------------------
+    model = PairTransitionModel(smoothing=0.5).fit(train, horizon=HORIZON)
+    labels = [p.value for p in ALL_PAIR_TYPES]
+    print(f"learned from {model.n_observations} pair transitions")
+    print(
+        heatmap(
+            model.transition_matrix(),
+            row_labels=labels,
+            col_labels=labels,
+            title="P(next pair type | current pair type)",
+        )
+    )
+    print()
+    for current in (PairType.PING_PONG, PairType.CONVEY, PairType.IN_BURST):
+        predicted = model.predict_type(current)
+        prob = model.next_type_distribution(current)[predicted]
+        print(f"after a {current.name.lower():>16}: expect {predicted.name.lower()} "
+              f"({100 * prob:.0f}%)")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. held-out evaluation
+    # ------------------------------------------------------------------
+    scores = evaluate_pair_prediction(graph, horizon=HORIZON)
+    print(f"held-out next-pair-type accuracy over {scores['n_test']} transitions:")
+    print(f"  transition model : {100 * scores['accuracy']:.1f}%")
+    print(f"  marginal baseline: {100 * scores['baseline']:.1f}%")
+    print(f"  random guess     : {100 * scores['random']:.1f}%")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. concrete candidates after the latest observed event
+    # ------------------------------------------------------------------
+    last = graph.events[-1]
+    print(f"latest event: {last.u} → {last.v} at t={last.t:.0f}")
+    print("predicted next events:")
+    for pred in model.predict_events(last, None, top=3):
+        src = "?" if pred.source is None else pred.source
+        dst = "?" if pred.target is None else pred.target
+        print(
+            f"  {pred.pair_type.name.lower():>16}: {src} → {dst} "
+            f"(p={pred.probability:.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""Fraud screening on a transaction stream — the Song et al. scenario.
+
+Section 4.1 of the paper argues that *non-induced* motifs matter for
+streaming fraud detection: "some temporal and non-induced motifs (like
+squares) in financial transaction networks are a strong indicator of
+fraud", and a strictly induced model is "helpless in this context since it
+considers all the transactions among a set of entities in which the few
+fraudulent transactions can be overlooked".
+
+This example builds a synthetic transaction network, plants two fraud
+artifacts — a money cycle and a layering square — and shows:
+
+1. the streaming event-pattern matcher (Song's model) catching the square
+   on the fly, non-induced;
+2. temporal cycle enumeration catching the money loop;
+3. why an induced model (Paranjape reading) misses the planted square.
+
+Run with:  python examples/fraud_detection.py
+"""
+
+import numpy as np
+
+from repro.algorithms.cycles import cycle_nodes, enumerate_temporal_cycles
+from repro.algorithms.pattern import square_pattern
+from repro.algorithms.streaming import StreamMatcher
+from repro.core.events import Event
+from repro.core.temporal_graph import TemporalGraph
+from repro.datasets.generators import ActivityConfig, generate
+from repro.models import ParanjapeModel, SongModel
+
+HOUR = 3600.0
+
+
+def build_transactions(seed: int = 42) -> TemporalGraph:
+    """Background payments plus two planted fraud artifacts."""
+    background = generate(
+        ActivityConfig(
+            n_nodes=120,
+            n_events=2_000,
+            timespan=30 * 24 * HOUR,
+            p_reply=0.10,
+            p_repeat=0.15,
+            p_forward=0.10,
+            reaction_mean=6 * HOUR,
+        ),
+        seed=seed,
+    )
+    t0 = background.times[len(background) // 2]
+    mule_a, mule_b, mule_c, mule_d = 200, 201, 202, 203
+
+    planted = [
+        # a 4-hop money cycle: funds leave mule_a and return within hours
+        Event(mule_a, mule_b, t0 + 1 * HOUR),
+        Event(mule_b, mule_c, t0 + 2 * HOUR),
+        Event(mule_c, mule_d, t0 + 3 * HOUR),
+        Event(mule_d, mule_a, t0 + 4 * HOUR),
+        # a layering square with a camouflage diagonal: the fraud ring also
+        # performs an unrelated "legal" transaction inside the window,
+        # which breaks inducedness but not the square itself
+        Event(300, 301, t0 + 10 * HOUR),
+        Event(301, 302, t0 + 11 * HOUR),
+        Event(302, 303, t0 + 12 * HOUR),
+        Event(303, 300, t0 + 13 * HOUR),
+        Event(300, 302, t0 + 12.5 * HOUR),  # the camouflage diagonal
+    ]
+    return TemporalGraph(
+        list(background.events) + planted, name="transactions"
+    )
+
+
+def screen_squares_streaming(graph: TemporalGraph) -> list:
+    """Song-style on-the-fly matching of the directed square A→B→C→D→A."""
+    matcher = StreamMatcher(square_pattern(total=True), delta_w=24 * HOUR)
+    hits = []
+    for event in graph.events:  # simulate the stream
+        hits.extend(matcher.push(event))
+    return hits
+
+
+def screen_cycles(graph: TemporalGraph) -> list:
+    return list(
+        enumerate_temporal_cycles(
+            graph, delta_w=24 * HOUR, min_length=4, max_length=4
+        )
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    del rng  # the generator below is internally seeded
+    graph = build_transactions()
+    print(f"screening {len(graph)} transactions among {graph.num_nodes} accounts")
+    print()
+
+    # 1. streaming square detection (non-induced, Song model semantics)
+    squares = screen_squares_streaming(graph)
+    print(f"[stream matcher] directed squares within 24h: {len(squares)}")
+    for match in squares[:5]:
+        ring = [match.binding[v] for v in ("A", "B", "C", "D")]
+        print(
+            f"  ring {ring} between t={match.t_first:.0f} and "
+            f"t={match.t_last:.0f} (span {match.timespan / HOUR:.1f}h)"
+        )
+    print()
+
+    # 2. temporal cycle enumeration (money returning to its origin)
+    cycles = screen_cycles(graph)
+    print(f"[cycle scan] 4-hop temporal cycles within 24h: {len(cycles)}")
+    for cyc in cycles[:5]:
+        print(f"  money loop through accounts {cycle_nodes(graph, cyc)}")
+    print()
+
+    # 3. the inducedness trap: the planted square's event indices
+    planted_square = [
+        i
+        for i, ev in enumerate(graph.events)
+        if ev.u in (300, 301, 302, 303) and ev.edge != (300, 302)
+    ]
+    song = SongModel(delta_w=24 * HOUR)
+    induced = ParanjapeModel(delta_w=24 * HOUR)
+    print("[model comparison] the planted square with a camouflage diagonal:")
+    print(f"  Song (non-induced):      {song.is_valid_instance(graph, planted_square)}")
+    print(f"  Paranjape (induced):     {induced.is_valid_instance(graph, planted_square)}")
+    print(
+        "  -> the induced model overlooks the fraud square because the ring "
+        "camouflaged it with one extra legal transaction (Section 4.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Conversation mining in a message network with the event-pair lens.
+
+Reproduces the paper's Section 5 workflow on one dataset end to end:
+
+1. generate a message network and report its Table-2 statistics,
+2. sweep the ΔC/ΔW ratio and watch the R,P,I,O vs C,W groups (Table 5),
+3. compare vanilla counts against the consecutive-events restriction
+   (Table 3) to isolate genuine ask-reply conversations,
+4. render the pair-sequence heat map (Figure 6).
+
+Run with:  python examples/messaging_analysis.py
+"""
+
+from repro import TimingConstraints, get_dataset, run_census
+from repro.algorithms.counting import count_motifs
+from repro.algorithms.restrictions import satisfies_consecutive_events
+from repro.analysis.pairseq import dominant_sequences, pair_sequence_matrix, sequence_label
+from repro.analysis.rankings import rank_changes, top_k
+from repro.analysis.textplot import pair_heatmap
+from repro.core.notation import motif_codes_with_nodes
+from repro.datasets.statistics import compute_stats, stats_table
+
+DELTA_W = 3000.0
+
+
+def main() -> None:
+    graph = get_dataset("sms-copenhagen", scale=0.5)
+
+    # ------------------------------------------------------------------
+    # 1. dataset statistics (Table 2 row)
+    # ------------------------------------------------------------------
+    print(stats_table([compute_stats(graph)]))
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. the timing-constraint sweep (Table 5 view)
+    # ------------------------------------------------------------------
+    print("ΔC/ΔW sweep of 3-event motif groups (ΔW = 3000s):")
+    print(f"{'ratio':>6} {'regime':>12} {'RPIO':>8} {'CW':>6} {'mixed':>6}")
+    for ratio in (1.0, 0.66, 0.5):
+        constraints = TimingConstraints.from_ratio(DELTA_W, ratio)
+        census = run_census(graph, 3, constraints, max_nodes=3)
+        groups = census.pair_group_counts()
+        print(
+            f"{ratio:>6} {str(constraints.regime(3)):>12} "
+            f"{groups['RPIO']:>8} {groups['CW']:>6} {groups['mixed']:>6}"
+        )
+    print(
+        "-> bursty/local motifs (R,P,I,O) shrink faster than transfer\n"
+        "   chains (C,W) as ΔC tightens: conveys are causal and prompt.\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. isolating real conversations with the consecutive restriction
+    # ------------------------------------------------------------------
+    constraints = TimingConstraints.only_c(1500)
+    vanilla = count_motifs(graph, 3, constraints, max_nodes=3, node_counts={3})
+    restricted = count_motifs(
+        graph, 3, constraints, max_nodes=3, node_counts={3},
+        predicate=satisfies_consecutive_events,
+    )
+    survival = sum(restricted.values()) / max(sum(vanilla.values()), 1)
+    print(
+        f"consecutive-events restriction keeps "
+        f"{sum(restricted.values())} / {sum(vanilla.values())} motifs "
+        f"({100 * survival:.1f}%)"
+    )
+    changes = rank_changes(
+        vanilla, restricted, universe=motif_codes_with_nodes(3, 3)
+    )
+    climbers = sorted(changes.items(), key=lambda kv: -kv[1])[:4]
+    print("motifs amplified by the restriction (uninterrupted engagements):")
+    for code, delta in climbers:
+        print(f"  {code}: {delta:+d} rank positions")
+    print("top surviving motifs:")
+    for code, count in top_k(restricted, 3):
+        print(f"  {count:4d} × {code}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. the pair-sequence heat map (Figure 6 view)
+    # ------------------------------------------------------------------
+    census = run_census(
+        graph, 3, TimingConstraints(delta_c=2000, delta_w=3000), max_nodes=3
+    )
+    matrix = pair_sequence_matrix(census.pair_sequence_counts)
+    print(pair_heatmap(matrix, title="pair-sequence counts (rows: first pair)"))
+    print()
+    print("dominant sequences:")
+    for seq, count in dominant_sequences(census.pair_sequence_counts, k=5):
+        print(f"  {sequence_label(seq)}: {count}")
+
+
+if __name__ == "__main__":
+    main()

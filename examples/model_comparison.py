@@ -1,0 +1,83 @@
+"""Side-by-side comparison of the four temporal motif models on one dataset.
+
+For a single email-like network, count 3n3e motifs under each surveyed
+model with comparable timing budgets and show how the model choice alone
+reshapes the motif spectrum — the paper's central message ("a motif can be
+valid in some models but not in the others").
+
+Run with:  python examples/model_comparison.py
+"""
+
+from repro import (
+    HulovatyyModel,
+    KovanenModel,
+    ParanjapeModel,
+    SongModel,
+    get_dataset,
+)
+from repro.analysis.proportions import proportions
+from repro.analysis.rankings import top_k
+from repro.analysis.textplot import table
+from repro.core.notation import motif_codes_with_nodes
+
+DELTA_C = 1500.0   # for the ΔC models (Kovanen, Hulovatyy)
+DELTA_W = 3000.0   # for the ΔW models (Song, Paranjape); = (m−1)·ΔC
+
+
+def main() -> None:
+    graph = get_dataset("email", scale=0.4)
+    print(f"dataset: {graph}")
+    print(
+        f"timing budgets: ΔC={DELTA_C:g}s (Kovanen, Hulovatyy), "
+        f"ΔW={DELTA_W:g}s (Song, Paranjape)\n"
+    )
+
+    models = [
+        KovanenModel(DELTA_C),
+        SongModel(DELTA_W),
+        HulovatyyModel(DELTA_C),
+        ParanjapeModel(DELTA_W),
+    ]
+    counts = {}
+    for model in models:
+        counts[model.name] = model.count(graph, 3, max_nodes=3, node_counts={3})
+
+    # ------------------------------------------------------------------
+    # total counts: inducedness and the consecutive restriction are filters
+    # ------------------------------------------------------------------
+    rows = []
+    for model in models:
+        c = counts[model.name]
+        rows.append((model.name, sum(c.values()), len(c)))
+    print(table(("model", "3n3e instances", "distinct motifs"), rows))
+    print()
+
+    # ------------------------------------------------------------------
+    # top motifs per model: the spectrum shifts with the model choice
+    # ------------------------------------------------------------------
+    print("top-5 motifs per model (code: share):")
+    universe = motif_codes_with_nodes(3, 3)
+    for model in models:
+        shares = proportions(counts[model.name], universe=universe)
+        tops = top_k(counts[model.name], 5)
+        cells = ", ".join(f"{code}: {100 * shares[code]:.1f}%" for code, _n in tops)
+        print(f"  {model.name:25s} {cells}")
+    print()
+
+    # ------------------------------------------------------------------
+    # pairwise agreement: fraction of Song's instances each model keeps
+    # ------------------------------------------------------------------
+    song_total = sum(counts["Song et al. [12]"].values())
+    print("fraction of the most permissive model's instances each model keeps:")
+    for model in models:
+        kept = sum(counts[model.name].values()) / max(song_total, 1)
+        print(f"  {model.name:25s} {100 * kept:6.1f}%")
+    print(
+        "\n-> Kovanen's consecutive-events restriction is the strongest "
+        "filter; static inducedness (Hulovatyy/Paranjape) sits in between "
+        "(Sections 4.1 and 5.1 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Node-role discovery with temporal motif orbits — the Hulovatyy use case.
+
+Hulovatyy et al. featurize each node by its participation counts across
+(dynamic graphlet, orbit) pairs and use those vectors to predict
+aging-related genes.  This example builds the same per-node profiles on a
+Q&A network, then separates *askers* from *answerers* using nothing but
+orbit features — the temporal analogue of graphlet degree vectors.
+
+Run with:  python examples/node_roles.py
+"""
+
+from collections import Counter
+
+from repro import TimingConstraints, get_dataset
+from repro.core.motif import node_motif_profiles
+from repro.core.notation import parse_code
+
+
+def orbit_role_scores(profile: Counter) -> tuple[int, int]:
+    """(source-side, target-side) participation of one node.
+
+    A node's orbit tells which digit it plays in the motif code; summing
+    over the code's events tells whether the node mostly *sends* (answers,
+    in Q&A semantics u→v = "u answers v") or mostly *receives*.
+    """
+    sent = 0
+    received = 0
+    for (code, orbit), count in profile.items():
+        for u, v in parse_code(code):
+            if u == orbit:
+                sent += count
+            if v == orbit:
+                received += count
+    return sent, received
+
+
+def main() -> None:
+    graph = get_dataset("stackoverflow", scale=0.4)
+    constraints = TimingConstraints(delta_c=1500, delta_w=3000)
+    print(f"profiling nodes of {graph} ...")
+    profiles = node_motif_profiles(graph, 3, constraints, max_nodes=3)
+    print(f"{len(profiles)} nodes participate in 3-event motifs")
+    print()
+
+    # ------------------------------------------------------------------
+    # classify nodes by orbit balance
+    # ------------------------------------------------------------------
+    answerers: list[tuple[int, float, int]] = []
+    askers: list[tuple[int, float, int]] = []
+    for node, profile in profiles.items():
+        sent, received = orbit_role_scores(profile)
+        total = sent + received
+        if total < 10:
+            continue  # too little evidence
+        balance = sent / total
+        if balance > 0.7:
+            answerers.append((node, balance, total))
+        elif balance < 0.3:
+            askers.append((node, balance, total))
+
+    answerers.sort(key=lambda x: -x[2])
+    askers.sort(key=lambda x: -x[2])
+    print(f"strong answerers (send-heavy orbits): {len(answerers)}")
+    for node, balance, total in answerers[:5]:
+        print(f"  node {node}: {100 * balance:.0f}% sending, {total} orbit slots")
+    print(f"strong askers (receive-heavy orbits): {len(askers)}")
+    for node, balance, total in askers[:5]:
+        print(f"  node {node}: {100 * balance:.0f}% sending, {total} orbit slots")
+    print()
+
+    # ------------------------------------------------------------------
+    # the in-burst signature: top askers anchor in-burst motifs
+    # ------------------------------------------------------------------
+    if askers:
+        top_asker = askers[0][0]
+        profile = profiles[top_asker]
+        print(f"motif spectrum of the top asker (node {top_asker}):")
+        for (code, orbit), count in profile.most_common(5):
+            print(f"  {count:4d} × motif {code}, orbit {orbit}")
+        print(
+            "\n-> receive-heavy orbits inside in-burst motifs (x→v, y→v) are"
+            "\n   the Q&A asker signature the paper's Figure 3 discussion"
+            "\n   attributes to StackOverflow."
+        )
+
+
+if __name__ == "__main__":
+    main()

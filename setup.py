@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses pyproject.toml; this file additionally enables
+`python setup.py develop` in fully offline environments.
+"""
+from setuptools import setup
+
+setup()

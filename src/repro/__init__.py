@@ -1,0 +1,79 @@
+"""repro — temporal network motifs: models, limitations, evaluation.
+
+A full reproduction library for Liu, Guarrasi & Sarıyüce, *Temporal
+Network Motifs: Models, Limitations, Evaluation* (ICDE 2022 / TKDE).
+
+Quickstart::
+
+    from repro import TemporalGraph, TimingConstraints, run_census
+
+    g = TemporalGraph.from_tuples([(0, 1, 10), (1, 2, 20), (0, 2, 25)])
+    census = run_census(g, n_events=3, constraints=TimingConstraints.only_w(60))
+    print(census.code_counts)          # Counter({'011202': 1})
+
+Package map:
+
+* :mod:`repro.core` — events, temporal graphs, motif notation, event
+  pairs, timing constraints;
+* :mod:`repro.models` — the four surveyed motif models;
+* :mod:`repro.algorithms` — enumeration, restrictions, counting,
+  streaming pattern matching, cycles, sampling;
+* :mod:`repro.datasets` — synthetic dataset generators and the registry;
+* :mod:`repro.randomization` — shuffling null models;
+* :mod:`repro.analysis` — rankings, proportions, histograms, heat maps;
+* :mod:`repro.experiments` — one module per paper table/figure
+  (``python -m repro.experiments <id>``).
+"""
+
+from repro.algorithms import (
+    MotifCensus,
+    count_event_pairs,
+    count_motifs,
+    enumerate_instances,
+    run_census,
+)
+from repro.core import (
+    ConstraintRegime,
+    Event,
+    PairType,
+    TemporalGraph,
+    TimingConstraints,
+    all_motif_codes,
+    canonical_code,
+    classify_pair,
+    pair_sequence_of_code,
+)
+from repro.core.motif import Motif
+from repro.datasets import get_dataset
+from repro.models import (
+    HulovatyyModel,
+    KovanenModel,
+    ParanjapeModel,
+    SongModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstraintRegime",
+    "Event",
+    "HulovatyyModel",
+    "KovanenModel",
+    "Motif",
+    "MotifCensus",
+    "PairType",
+    "ParanjapeModel",
+    "SongModel",
+    "TemporalGraph",
+    "TimingConstraints",
+    "all_motif_codes",
+    "canonical_code",
+    "classify_pair",
+    "count_event_pairs",
+    "count_motifs",
+    "enumerate_instances",
+    "get_dataset",
+    "pair_sequence_of_code",
+    "run_census",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Motif enumeration, restriction checking, counting, and related algorithms.
+
+* :mod:`repro.algorithms.enumeration` — the connected-growth DFS engine,
+* :mod:`repro.algorithms.restrictions` — consecutive-events restriction,
+  constrained dynamic graphlets, static inducedness,
+* :mod:`repro.algorithms.counting` — per-code counters and the one-pass
+  :class:`~repro.algorithms.counting.MotifCensus`,
+* :mod:`repro.algorithms.pattern` / :mod:`repro.algorithms.streaming` —
+  Song-style event-pattern matching over graph streams,
+* :mod:`repro.algorithms.cycles` — temporal cycle enumeration,
+* :mod:`repro.algorithms.sampling` — interval-sampling approximate counting.
+"""
+
+from repro.algorithms.counting import (
+    MotifCensus,
+    count_event_pairs,
+    count_motifs,
+    run_census,
+)
+from repro.algorithms.enumeration import enumerate_instances, instance_code
+from repro.algorithms.restrictions import (
+    is_static_induced,
+    satisfies_cdg,
+    satisfies_consecutive_events,
+)
+
+__all__ = [
+    "MotifCensus",
+    "count_event_pairs",
+    "count_motifs",
+    "enumerate_instances",
+    "instance_code",
+    "is_static_induced",
+    "run_census",
+    "satisfies_cdg",
+    "satisfies_consecutive_events",
+]

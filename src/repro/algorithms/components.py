@@ -1,0 +1,112 @@
+"""Maximal temporal components (Kovanen et al.'s E_max construction).
+
+Kovanen et al.'s mining algorithm first groups events into **maximal
+connected temporal subgraphs**: two events are *ΔC-adjacent* when they
+share a node and are consecutive among that node's events with a gap of at
+most ΔC; maximal components of this adjacency relation partition the event
+set, and every motif the algorithm reports is carved out of one component.
+
+This module provides that substrate: the partition itself
+(:func:`temporal_components`), its coarsening behavior in ΔC
+(property-tested: growing ΔC only merges components), and component-level
+summaries used to reason about burst structure.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from repro.core.temporal_graph import TemporalGraph
+
+
+class _UnionFind:
+    """Array-based union-find with path halving."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra = self.find(a)
+        rb = self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def temporal_components(graph: TemporalGraph, delta_c: float) -> list[list[int]]:
+    """Partition event indices into maximal ΔC-adjacency components.
+
+    Two events are joined when they are consecutive on some shared node's
+    timeline and at most ``delta_c`` apart.  Components are returned as
+    time-sorted index lists, ordered by their first event.
+    """
+    if delta_c <= 0:
+        raise ValueError("delta_c must be positive")
+    uf = _UnionFind(len(graph.events))
+    for node, idxs in graph.node_events.items():
+        times = graph.node_times[node]
+        for pos in range(len(idxs) - 1):
+            if times[pos + 1] - times[pos] <= delta_c:
+                uf.union(idxs[pos], idxs[pos + 1])
+    groups: dict[int, list[int]] = defaultdict(list)
+    for idx in range(len(graph.events)):
+        groups[uf.find(idx)].append(idx)
+    components = [sorted(members) for members in groups.values()]
+    components.sort(key=lambda comp: comp[0])
+    return components
+
+
+def component_of(graph: TemporalGraph, delta_c: float) -> dict[int, int]:
+    """Event index → component id (ids follow component order)."""
+    mapping: dict[int, int] = {}
+    for cid, comp in enumerate(temporal_components(graph, delta_c)):
+        for idx in comp:
+            mapping[idx] = cid
+    return mapping
+
+
+def component_subgraphs(
+    graph: TemporalGraph, delta_c: float, *, min_events: int = 1
+) -> Iterator[TemporalGraph]:
+    """Each component as its own temporal graph (for per-burst analysis)."""
+    for comp in temporal_components(graph, delta_c):
+        if len(comp) >= min_events:
+            yield TemporalGraph(
+                [graph.events[i] for i in comp], name=graph.name
+            )
+
+
+def component_size_distribution(
+    graph: TemporalGraph, delta_c: float
+) -> dict[int, int]:
+    """Histogram of component sizes — the burst-size spectrum.
+
+    Bursty networks show a heavy tail here; a Poissonized null (timestamp
+    permutation) collapses it, which is the mechanism behind the paper's
+    "loose null models flag everything" observation.
+    """
+    histogram: dict[int, int] = defaultdict(int)
+    for comp in temporal_components(graph, delta_c):
+        histogram[len(comp)] += 1
+    return dict(histogram)
+
+
+def largest_component_fraction(graph: TemporalGraph, delta_c: float) -> float:
+    """Fraction of events inside the largest component (0.0 when empty).
+
+    As ΔC grows past the typical inter-event time this jumps toward 1 —
+    the percolation-style transition that makes ΔC selection meaningful
+    (Section 4.5's "any ΔW larger than (m−1)·ΔC is meaningless" argument
+    presumes ΔC below this transition).
+    """
+    if not graph.events:
+        return 0.0
+    components = temporal_components(graph, delta_c)
+    return max(len(c) for c in components) / len(graph.events)

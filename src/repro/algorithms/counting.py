@@ -1,0 +1,239 @@
+"""Counting APIs: per-code counters and the one-pass motif census.
+
+Most experiments in the paper need several summaries of the same instance
+set (counts per motif code, event-pair counts, pair-sequence matrices,
+timespans, intermediate-event positions).  :class:`MotifCensus` collects
+all of them in a single enumeration pass so each experiment costs one scan.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.algorithms.enumeration import Instance, enumerate_instances
+from repro.core.constraints import TimingConstraints
+from repro.core.eventpairs import CW_GROUP, RPIO_GROUP, classify_pair
+from repro.core.notation import canonical_code
+from repro.core.temporal_graph import TemporalGraph
+
+Predicate = Callable[[TemporalGraph, Instance], bool]
+
+#: Default cap on per-code sample lists (timespans, positions) to bound memory.
+DEFAULT_SAMPLE_CAP = 200_000
+
+
+def count_motifs(
+    graph: TemporalGraph,
+    n_events: int,
+    constraints: TimingConstraints,
+    *,
+    max_nodes: int | None = None,
+    node_counts: Iterable[int] | None = None,
+    predicate: Predicate | None = None,
+) -> Counter:
+    """Count motif instances per canonical code.
+
+    Parameters
+    ----------
+    node_counts:
+        Keep only motifs with a number of distinct nodes in this collection
+        (e.g. ``{3}`` for the paper's 3n3e family).  ``max_nodes`` prunes
+        during the search; ``node_counts`` filters the result.
+    predicate:
+        Optional restriction (consecutive-events, CDG, inducedness, or a
+        model's validity check).
+    """
+    wanted = set(node_counts) if node_counts is not None else None
+    counts: Counter = Counter()
+    for inst in enumerate_instances(
+        graph, n_events, constraints, max_nodes=max_nodes, predicate=predicate
+    ):
+        code = canonical_code([graph.events[i].edge for i in inst])
+        if wanted is not None and len(set(code)) not in wanted:
+            continue
+        counts[code] += 1
+    return counts
+
+
+def count_event_pairs(
+    graph: TemporalGraph,
+    n_events: int,
+    constraints: TimingConstraints,
+    *,
+    max_nodes: int | None = None,
+    predicate: Predicate | None = None,
+) -> Counter:
+    """Count event-pair types across all consecutive pairs of all instances.
+
+    This is the quantity of Table 5: each ``m``-event instance contributes
+    ``m − 1`` pair observations.  Disjoint consecutive pairs (possible only
+    in 4-node motifs) are counted under ``None``.
+    """
+    counts: Counter = Counter()
+    for inst in enumerate_instances(
+        graph, n_events, constraints, max_nodes=max_nodes, predicate=predicate
+    ):
+        edges = [graph.events[i].edge for i in inst]
+        for first, second in zip(edges, edges[1:]):
+            counts[classify_pair(first, second)] += 1
+    return counts
+
+
+@dataclass
+class MotifCensus:
+    """All per-instance summaries of one enumeration pass.
+
+    Attributes
+    ----------
+    code_counts:
+        instances per canonical motif code.
+    pair_counts:
+        event-pair observations per :class:`PairType` (``None`` = disjoint).
+    pair_sequence_counts:
+        instances per ordered tuple of pair types (Figure 6 heat maps).
+    timespans:
+        per code, sampled list of instance timespans (Figure 5).
+    intermediate_positions:
+        per code, sampled list of ``(event_position, relative_time)`` where
+        ``event_position`` is 1-based among intermediate events and
+        ``relative_time`` is ``(t_i − t_1)/(t_m − t_1)`` (Figure 4).
+    total:
+        total instance count.
+    """
+
+    n_events: int
+    constraints: TimingConstraints
+    code_counts: Counter = field(default_factory=Counter)
+    pair_counts: Counter = field(default_factory=Counter)
+    pair_sequence_counts: Counter = field(default_factory=Counter)
+    timespans: dict[str, list[float]] = field(default_factory=dict)
+    intermediate_positions: dict[str, list[tuple[int, float]]] = field(
+        default_factory=dict
+    )
+    total: int = 0
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def codes_with_nodes(self, n_nodes: int) -> Counter:
+        """Sub-counter of codes with exactly ``n_nodes`` distinct nodes."""
+        return Counter(
+            {c: n for c, n in self.code_counts.items() if len(set(c)) == n_nodes}
+        )
+
+    def pair_group_counts(self) -> dict[str, int]:
+        """Counts of the Table-5 motif groups.
+
+        A motif is an **R,P,I,O motif** when *all* of its event pairs are
+        bursty/local types (repetition, ping-pong, in-burst, out-burst) and
+        a **C,W motif** when all pairs are transfer types (convey,
+        weakly-connected); motifs mixing both groups land in ``"mixed"``
+        and motifs with a disjoint consecutive pair in ``"disjoint"``.
+        Pure C,W motifs are causal chains, which is why the paper finds
+        them better preserved under ΔC (Table 5).
+        """
+        out = {"RPIO": 0, "CW": 0, "mixed": 0, "disjoint": 0}
+        for seq, n in self.pair_sequence_counts.items():
+            if any(p is None for p in seq):
+                out["disjoint"] += n
+            elif all(p in RPIO_GROUP for p in seq):
+                out["RPIO"] += n
+            elif all(p in CW_GROUP for p in seq):
+                out["CW"] += n
+            else:
+                out["mixed"] += n
+        return out
+
+    def proportions(self) -> dict[str, float]:
+        """Each code's share of the total instance count."""
+        total = sum(self.code_counts.values())
+        if total == 0:
+            return {}
+        return {code: n / total for code, n in self.code_counts.items()}
+
+
+def run_census(
+    graph: TemporalGraph,
+    n_events: int,
+    constraints: TimingConstraints,
+    *,
+    max_nodes: int | None = None,
+    predicate: Predicate | None = None,
+    collect_timespans: bool = False,
+    collect_positions: bool = False,
+    timespan_codes: Sequence[str] | None = None,
+    position_codes: Sequence[str] | None = None,
+    sample_cap: int = DEFAULT_SAMPLE_CAP,
+) -> MotifCensus:
+    """Enumerate once and collect every summary the experiments need.
+
+    Parameters
+    ----------
+    collect_timespans / collect_positions:
+        Enable the per-code sample lists (memory proportional to
+        instances, capped at ``sample_cap`` per code).
+    timespan_codes / position_codes:
+        Restrict sample collection to specific codes (e.g. only ``010102``
+        for Figure 5) — ``None`` collects for every code.
+    """
+    census = MotifCensus(n_events=n_events, constraints=constraints)
+    span_filter = set(timespan_codes) if timespan_codes is not None else None
+    pos_filter = set(position_codes) if position_codes is not None else None
+    events = graph.events
+    times = graph.times
+
+    for inst in enumerate_instances(
+        graph, n_events, constraints, max_nodes=max_nodes, predicate=predicate
+    ):
+        edges = [events[i].edge for i in inst]
+        code = canonical_code(edges)
+        census.code_counts[code] += 1
+        census.total += 1
+        pair_seq = tuple(
+            classify_pair(edges[j], edges[j + 1]) for j in range(len(edges) - 1)
+        )
+        for ptype in pair_seq:
+            census.pair_counts[ptype] += 1
+        census.pair_sequence_counts[pair_seq] += 1
+
+        if collect_timespans and (span_filter is None or code in span_filter):
+            bucket = census.timespans.setdefault(code, [])
+            if len(bucket) < sample_cap:
+                bucket.append(times[inst[-1]] - times[inst[0]])
+
+        if collect_positions and (pos_filter is None or code in pos_filter):
+            t_first = times[inst[0]]
+            span = times[inst[-1]] - t_first
+            if span > 0:
+                bucket2 = census.intermediate_positions.setdefault(code, [])
+                if len(bucket2) < sample_cap:
+                    for pos, idx in enumerate(inst[1:-1], start=1):
+                        bucket2.append((pos, (times[idx] - t_first) / span))
+    return census
+
+
+def total_instances(
+    graph: TemporalGraph,
+    n_events: int,
+    constraints: TimingConstraints,
+    *,
+    max_nodes: int | None = None,
+    predicate: Predicate | None = None,
+) -> int:
+    """Total number of instances, without per-code bookkeeping."""
+    return sum(
+        1
+        for _ in enumerate_instances(
+            graph, n_events, constraints, max_nodes=max_nodes, predicate=predicate
+        )
+    )
+
+
+def merge_counters(counters: Iterable[Counter]) -> Counter:
+    """Sum a collection of counters (used by chunked/parallel counting)."""
+    out: Counter = Counter()
+    for counter in counters:
+        out.update(counter)
+    return out

@@ -1,0 +1,199 @@
+"""Event patterns for the Song et al. model (labels + partial ordering).
+
+An :class:`EventPattern` is a template of pattern events over node
+*variables*, an optional strict partial order among the pattern events, and
+optional node/edge label predicates.  This is the query language of Song et
+al.'s event pattern matching problem (Section 4.3–4.4 of the survey): two
+pattern events left unordered may match graph events in either time order.
+
+Patterns are matched either against a complete candidate event sequence
+(:meth:`EventPattern.matches_sequence`) or incrementally over a stream
+(:class:`repro.algorithms.streaming.StreamMatcher`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import Callable, Mapping, Sequence
+
+from repro.core.events import Event
+
+
+@dataclass(frozen=True)
+class PatternEvent:
+    """One edge of an event pattern: source variable → target variable.
+
+    ``edge_label`` restricts which graph events may bind here (compared via
+    the pattern's ``edge_labeler``); ``None`` matches anything.
+    """
+
+    src: str
+    dst: str
+    edge_label: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("pattern events cannot be self-loops")
+
+
+@dataclass
+class EventPattern:
+    """A Song-style event pattern.
+
+    Parameters
+    ----------
+    events:
+        The pattern events.  Their list order is *not* a time order —
+        ordering comes exclusively from ``order``.
+    order:
+        Strict partial order as ``(i, j)`` pairs meaning pattern event ``i``
+        must precede pattern event ``j`` in time.  Transitivity is closed
+        automatically; cycles raise :class:`ValueError`.
+    node_labels:
+        Optional variable → required label map, checked through
+        ``node_labeler``.
+    edge_labeler / node_labeler:
+        Callables extracting the label of a graph event / node.  Required
+        only when label constraints are present.
+    injective:
+        Distinct variables must bind distinct nodes (default, the standard
+        subgraph-matching semantics).
+    """
+
+    events: Sequence[PatternEvent]
+    order: Sequence[tuple[int, int]] = ()
+    node_labels: Mapping[str, object] = field(default_factory=dict)
+    edge_labeler: Callable[[Event], object] | None = None
+    node_labeler: Callable[[int], object] | None = None
+    injective: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise ValueError("a pattern needs at least one event")
+        n = len(self.events)
+        for i, j in self.order:
+            if not (0 <= i < n and 0 <= j < n) or i == j:
+                raise ValueError(f"invalid order pair ({i}, {j})")
+        self._closure = _transitive_closure(n, self.order)
+        if any((i, i) in self._closure for i in range(n)):
+            raise ValueError("partial order contains a cycle")
+        self._predecessors: list[set[int]] = [
+            {i for i in range(n) if (i, j) in self._closure} for j in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """All node variables, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for pev in self.events:
+            seen.setdefault(pev.src)
+            seen.setdefault(pev.dst)
+        return tuple(seen)
+
+    def predecessors(self, index: int) -> set[int]:
+        """Pattern events that must precede pattern event ``index``."""
+        return set(self._predecessors[index])
+
+    def is_total_order(self) -> bool:
+        """Whether the partial order is in fact total."""
+        n = len(self.events)
+        return all(
+            (i, j) in self._closure or (j, i) in self._closure
+            for i in range(n)
+            for j in range(i + 1, n)
+        )
+
+    # ------------------------------------------------------------------
+    def binds(self, pattern_event: PatternEvent, event: Event, binding: dict) -> dict | None:
+        """Try to bind a graph event to a pattern event under ``binding``.
+
+        Returns the extended binding (a new dict) or ``None`` on conflict.
+        """
+        if pattern_event.edge_label is not None:
+            if self.edge_labeler is None:
+                raise ValueError("pattern has edge labels but no edge_labeler")
+            if self.edge_labeler(event) != pattern_event.edge_label:
+                return None
+        new = dict(binding)
+        for var, node in ((pattern_event.src, event.u), (pattern_event.dst, event.v)):
+            bound = new.get(var)
+            if bound is None:
+                if self.injective and node in new.values():
+                    return None
+                wanted = self.node_labels.get(var)
+                if wanted is not None:
+                    if self.node_labeler is None:
+                        raise ValueError("pattern has node labels but no node_labeler")
+                    if self.node_labeler(node) != wanted:
+                        return None
+                new[var] = node
+            elif bound != node:
+                return None
+        return new
+
+    def matches_sequence(self, events: Sequence[Event]) -> bool:
+        """Whether a chronologically ordered event sequence matches this pattern.
+
+        Tries every assignment of the ``k`` events to the ``k`` pattern
+        events that respects the partial order; fine for motif-sized ``k``.
+        """
+        if len(events) != len(self.events):
+            return False
+        n = len(events)
+        for perm in permutations(range(n)):
+            # perm[pos] = pattern index assigned to the pos-th (time-ordered)
+            # graph event; the partial order must agree with time order.
+            position = {perm[pos]: pos for pos in range(n)}
+            if any(position[i] >= position[j] for i, j in self.order):
+                continue
+            binding: dict | None = {}
+            for pos in range(n):
+                binding = self.binds(self.events[perm[pos]], events[pos], binding)
+                if binding is None:
+                    break
+            if binding is not None:
+                return True
+        return False
+
+
+def _transitive_closure(n: int, pairs: Sequence[tuple[int, int]]) -> set[tuple[int, int]]:
+    """Floyd–Warshall closure of a relation on ``range(n)``."""
+    closure = set(pairs)
+    changed = True
+    while changed:
+        changed = False
+        for i, j in list(closure):
+            for k, l in list(closure):
+                if j == k and (i, l) not in closure:
+                    closure.add((i, l))
+                    changed = True
+    return closure
+
+
+def chain_pattern(length: int, *, total: bool = True) -> EventPattern:
+    """A convey chain ``A→B, B→C, ...`` of ``length`` events.
+
+    ``total=False`` leaves the events unordered (pure structural pattern).
+    """
+    letters = [chr(ord("A") + i) for i in range(length + 1)]
+    events = [PatternEvent(letters[i], letters[i + 1]) for i in range(length)]
+    order = tuple((i, i + 1) for i in range(length - 1)) if total else ()
+    return EventPattern(events=events, order=order)
+
+
+def square_pattern(*, total: bool = False) -> EventPattern:
+    """The fraud-indicator square ``A→B, B→C, C→D, D→A`` (Section 4.1).
+
+    Song et al. motivate non-induced squares in financial transaction
+    streams; by default only the structural shape is constrained.
+    """
+    events = [
+        PatternEvent("A", "B"),
+        PatternEvent("B", "C"),
+        PatternEvent("C", "D"),
+        PatternEvent("D", "A"),
+    ]
+    order = tuple((i, i + 1) for i in range(3)) if total else ()
+    return EventPattern(events=events, order=order)

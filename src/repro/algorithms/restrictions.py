@@ -1,0 +1,128 @@
+"""The temporal-inducedness restrictions evaluated in Section 5.1.
+
+Three restriction predicates, each a filter over enumerated instances:
+
+* :func:`satisfies_consecutive_events` — Kovanen et al.'s node-based
+  temporal inducedness: while a node is engaged in a motif, it must not
+  touch any event outside the motif (Section 4.1, "consecutive events
+  restriction").
+* :func:`satisfies_cdg` — Hulovatyy et al.'s *constrained dynamic graphlet*
+  rule: a consecutive event on a different edge must be the first event on
+  that edge since its predecessor (filters "stale" repeated information).
+* :func:`is_static_induced` — static inducedness (Hulovatyy / Paranjape):
+  every static edge among the motif's nodes (within the motif's window, or
+  globally) must appear among the motif's edges.
+
+All predicates take ``(graph, instance)`` so they can be passed directly as
+the ``predicate`` of :func:`repro.algorithms.enumeration.enumerate_instances`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.core.temporal_graph import TemporalGraph
+
+Instance = Sequence[int]
+
+
+def satisfies_consecutive_events(graph: TemporalGraph, instance: Instance) -> bool:
+    """Kovanen's consecutive-events restriction (node-based temporal inducedness).
+
+    For every node of the motif, the graph events touching that node inside
+    the closed interval spanned by the node's motif events must be exactly
+    the node's motif events.  Example from Section 4.1: with motif events
+    ``(u,v,5), (v,w,8), (u,v,12)``, no other event may touch ``u`` in
+    ``[5, 12]`` nor ``v`` in ``[5, 12]`` nor ``w`` in ``[8, 8]``.
+
+    Events at exactly the boundary timestamps count as interruptions — a
+    node emitting a second contact in the same second it joins the motif is
+    engaged elsewhere.
+    """
+    per_node: dict[int, list[float]] = defaultdict(list)
+    for idx in instance:
+        ev = graph.events[idx]
+        t = graph.times[idx]
+        per_node[ev.u].append(t)
+        per_node[ev.v].append(t)
+    for node, stamps in per_node.items():
+        t_lo = min(stamps)
+        t_hi = max(stamps)
+        if graph.count_node_events_in(node, t_lo, t_hi) != len(stamps):
+            return False
+    return True
+
+
+def satisfies_cdg(graph: TemporalGraph, instance: Instance) -> bool:
+    """Hulovatyy's constrained dynamic graphlet restriction.
+
+    For consecutive motif events ``(u1,v1,t1)`` and ``(u2,v2,t2)`` on
+    *different* edges, there must be no graph event on edge ``(u2,v2)``
+    within ``[t1, t2]`` other than the motif event itself — i.e. the second
+    event is the first occurrence of its edge since the first event fired.
+    Repetitions (same edge twice) are exempt, matching the formal statement
+    in Section 4.1 ("where u1,v1 ≠ u2,v2").
+    """
+    for a, b in zip(instance, instance[1:]):
+        ev_a = graph.events[a]
+        ev_b = graph.events[b]
+        if ev_a.edge == ev_b.edge:
+            continue
+        t_a = graph.times[a]
+        t_b = graph.times[b]
+        if graph.count_edge_events_in(ev_b.edge, t_a, t_b) != 1:
+            return False
+    return True
+
+
+def is_static_induced(
+    graph: TemporalGraph,
+    instance: Instance,
+    *,
+    scope: str = "window",
+) -> bool:
+    """Static inducedness: motif edges must cover all edges among its nodes.
+
+    Section 4.1's Hulovatyy example — events ``(a,b,2), (b,c,4), (c,a,5),
+    (c,a,6)`` where the triangle of the 1st, 2nd and 4th events is valid
+    because the skipped 3rd event lies on an edge the motif *does* use —
+    shows that inducedness is about edge coverage, not event coverage.
+
+    Parameters
+    ----------
+    scope:
+        ``"window"`` (default) considers graph events among the motif's
+        nodes whose timestamps fall inside the motif's closed time window;
+        ``"global"`` considers the whole static projection.  The window
+        scope matches how induced motifs are judged instance-by-instance
+        (Figure 1); the global scope matches static graphlet semantics.
+    """
+    if scope not in ("window", "global"):
+        raise ValueError(f"unknown inducedness scope {scope!r}")
+    nodes: set[int] = set()
+    motif_edges: set[tuple[int, int]] = set()
+    for idx in instance:
+        ev = graph.events[idx]
+        nodes.add(ev.u)
+        nodes.add(ev.v)
+        motif_edges.add(ev.edge)
+    if scope == "global":
+        return graph.induced_static_edges(nodes) <= motif_edges
+    t_lo = graph.times[instance[0]]
+    t_hi = graph.times[instance[-1]]
+    for node in nodes:
+        for idx in graph.node_events_in(node, t_lo, t_hi):
+            ev = graph.events[idx]
+            if ev.u in nodes and ev.v in nodes and ev.edge not in motif_edges:
+                return False
+    return True
+
+
+def combine(*predicates):
+    """AND-combine restriction predicates into a single enumerator filter."""
+
+    def combined(graph: TemporalGraph, instance: Instance) -> bool:
+        return all(pred(graph, instance) for pred in predicates)
+
+    return combined

@@ -1,0 +1,169 @@
+"""Streaming event-pattern matching (the Song et al. substrate).
+
+Song et al. pose event pattern matching for *real-time graph streams*:
+matches must be reported on the fly as events arrive, with all events of a
+match inside a ΔW window.  :class:`StreamMatcher` implements the standard
+incremental-join strategy from complex event processing:
+
+* every arriving event may extend any live partial match at a pattern
+  position whose partial-order predecessors are already matched,
+* partial matches older than ΔW (first bound event to now) are expired,
+* completed matches are emitted immediately.
+
+The matcher is deliberately oblivious to how events are produced — feed it
+from a :class:`~repro.core.temporal_graph.TemporalGraph` via
+:func:`match_graph` or push events one at a time via
+:meth:`StreamMatcher.push`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.algorithms.pattern import EventPattern
+from repro.core.events import Event
+from repro.core.temporal_graph import TemporalGraph
+
+
+@dataclass(frozen=True)
+class Match:
+    """A completed pattern match.
+
+    ``events`` are in *time* order; ``assignment`` maps each position of
+    ``events`` to the pattern-event index it bound; ``binding`` maps node
+    variables to graph nodes.
+    """
+
+    events: tuple[Event, ...]
+    assignment: tuple[int, ...]
+    binding: dict
+
+    @property
+    def t_first(self) -> float:
+        return self.events[0].t
+
+    @property
+    def t_last(self) -> float:
+        return self.events[-1].t
+
+    @property
+    def timespan(self) -> float:
+        return self.t_last - self.t_first
+
+
+@dataclass
+class _Partial:
+    events: tuple[Event, ...]
+    assignment: tuple[int, ...]
+    matched: frozenset
+    binding: dict
+    t_first: float
+
+
+class StreamMatcher:
+    """Incremental matcher for one :class:`EventPattern` with a ΔW window.
+
+    Parameters
+    ----------
+    pattern:
+        The event pattern to match.
+    delta_w:
+        Window bounding a whole match, first bound event to last.
+    max_partials:
+        Safety valve: when the number of live partial matches exceeds this,
+        the oldest are dropped (a standard CEP load-shedding policy).  The
+        default is generous enough for the library's workloads; ``None``
+        disables shedding.
+    """
+
+    def __init__(
+        self,
+        pattern: EventPattern,
+        delta_w: float,
+        *,
+        max_partials: int | None = 1_000_000,
+    ) -> None:
+        if delta_w <= 0:
+            raise ValueError("delta_w must be positive")
+        self.pattern = pattern
+        self.delta_w = delta_w
+        self.max_partials = max_partials
+        self._partials: list[_Partial] = []
+        self._emitted = 0
+
+    @property
+    def live_partials(self) -> int:
+        """Number of partial matches currently alive."""
+        return len(self._partials)
+
+    @property
+    def emitted(self) -> int:
+        """Total matches emitted so far."""
+        return self._emitted
+
+    def push(self, event: Event) -> list[Match]:
+        """Feed one event (non-decreasing timestamps); return new matches."""
+        self._expire(event.t)
+        pattern = self.pattern
+        n = len(pattern.events)
+        out: list[Match] = []
+        new_partials: list[_Partial] = []
+
+        candidates = list(self._partials)
+        candidates.append(
+            _Partial(
+                events=(), assignment=(), matched=frozenset(), binding={},
+                t_first=event.t,
+            )
+        )
+        for part in candidates:
+            for pidx in range(n):
+                if pidx in part.matched:
+                    continue
+                if not pattern.predecessors(pidx) <= part.matched:
+                    continue
+                binding = pattern.binds(pattern.events[pidx], event, part.binding)
+                if binding is None:
+                    continue
+                t_first = part.events[0].t if part.events else event.t
+                if event.t - t_first > self.delta_w:
+                    continue
+                events = part.events + (event,)
+                assignment = part.assignment + (pidx,)
+                matched = part.matched | {pidx}
+                if len(matched) == n:
+                    out.append(Match(events=events, assignment=assignment, binding=binding))
+                else:
+                    new_partials.append(
+                        _Partial(
+                            events=events,
+                            assignment=assignment,
+                            matched=matched,
+                            binding=binding,
+                            t_first=t_first,
+                        )
+                    )
+        self._partials.extend(new_partials)
+        if self.max_partials is not None and len(self._partials) > self.max_partials:
+            self._partials = self._partials[-self.max_partials:]
+        self._emitted += len(out)
+        return out
+
+    def _expire(self, now: float) -> None:
+        """Drop partial matches that can no longer complete within ΔW."""
+        horizon = now - self.delta_w
+        self._partials = [p for p in self._partials if p.t_first >= horizon]
+
+    def drain(self, events: Iterable[Event]) -> Iterator[Match]:
+        """Push a whole (time-sorted) event stream, yielding matches lazily."""
+        for event in events:
+            yield from self.push(event)
+
+
+def match_graph(
+    graph: TemporalGraph, pattern: EventPattern, delta_w: float
+) -> list[Match]:
+    """All matches of ``pattern`` in a temporal graph, via the stream path."""
+    matcher = StreamMatcher(pattern, delta_w)
+    return list(matcher.drain(graph.events))

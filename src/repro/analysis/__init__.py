@@ -1,0 +1,38 @@
+"""Analysis toolkit: the summaries behind the paper's tables and figures.
+
+* :mod:`repro.analysis.rankings` — motif rankings and rank-change deltas
+  (Tables 3 and 6),
+* :mod:`repro.analysis.proportions` — proportion vectors, changes, and
+  variance (Tables 4 and 7, Figure 3),
+* :mod:`repro.analysis.intermediate` — intermediate-event position
+  histograms (Figures 4 and 9),
+* :mod:`repro.analysis.timespan` — motif timespan distributions
+  (Figures 5 and 10),
+* :mod:`repro.analysis.pairseq` — ordered event-pair sequence matrices
+  (Figures 6 and 11),
+* :mod:`repro.analysis.textplot` — ASCII rendering of histograms and
+  heat maps (the offline stand-in for matplotlib).
+"""
+
+from repro.analysis.intermediate import position_histogram, skewness
+from repro.analysis.pairseq import pair_sequence_matrix
+from repro.analysis.proportions import (
+    proportion_changes,
+    proportion_variance,
+    proportions,
+)
+from repro.analysis.rankings import rank_changes, rank_motifs
+from repro.analysis.timespan import timespan_histogram, timespan_summary
+
+__all__ = [
+    "pair_sequence_matrix",
+    "position_histogram",
+    "proportion_changes",
+    "proportion_variance",
+    "proportions",
+    "rank_changes",
+    "rank_motifs",
+    "skewness",
+    "timespan_histogram",
+    "timespan_summary",
+]

@@ -1,0 +1,96 @@
+"""Intermediate-event position analysis (Figures 4 and 9).
+
+ΔW bounds a motif's first and last events but says nothing about when the
+*intermediate* events fall; Figure 4 shows their relative positions —
+``(t_i − t_1)/(t_m − t_1)`` in [0, 1] — are heavily skewed toward one end
+in only-ΔW configurations and regularize as ΔC tightens.
+
+The census collects ``(event_position, relative_time)`` samples per motif
+code; this module bins them and quantifies the skew.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def position_histogram(
+    samples: Iterable[tuple[int, float]],
+    *,
+    n_bins: int = 10,
+    event_position: int | None = None,
+) -> np.ndarray:
+    """Histogram of relative positions over ``n_bins`` equal bins of [0, 1].
+
+    Parameters
+    ----------
+    samples:
+        ``(event_position, relative_time)`` pairs as collected by
+        :func:`repro.algorithms.counting.run_census` — position 1 is the
+        second event of the motif, position 2 the third, etc.
+    event_position:
+        Keep only samples of one intermediate position (Figure 4 plots the
+        second and third events separately); ``None`` pools all.
+
+    Returns
+    -------
+    Integer counts per bin; relative time 1.0 lands in the last bin.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    values = [
+        rel
+        for pos, rel in samples
+        if event_position is None or pos == event_position
+    ]
+    hist = np.zeros(n_bins, dtype=int)
+    for rel in values:
+        idx = min(int(rel * n_bins), n_bins - 1)
+        hist[idx] += 1
+    return hist
+
+
+def skewness(samples: Iterable[tuple[int, float]], *, event_position: int | None = None) -> float:
+    """Mean relative position minus 0.5 — the skew statistic of Figure 4.
+
+    Negative = intermediate events pile up near the first event (the
+    repetition-burst pattern of motif 010102); positive = near the last
+    (the ping-pong tail of 011221); ≈0 = regularized.  Returns 0.0 with no
+    samples.
+    """
+    values = [
+        rel
+        for pos, rel in samples
+        if event_position is None or pos == event_position
+    ]
+    if not values:
+        return 0.0
+    return float(np.mean(values) - 0.5)
+
+
+def absolute_skew(samples: Iterable[tuple[int, float]], *, event_position: int | None = None) -> float:
+    """Magnitude of the skew, for "does ΔC reduce the bias" comparisons."""
+    return abs(skewness(samples, event_position=event_position))
+
+
+def edge_mass(
+    samples: Sequence[tuple[int, float]],
+    *,
+    n_bins: int = 10,
+    event_position: int | None = None,
+) -> float:
+    """Fraction of samples in the two outermost bins.
+
+    A complementary skew measure: in only-ΔW configurations the
+    intermediate events concentrate near 0 % or 100 % of the motif span.
+    Returns 0.0 with no samples.
+    """
+    hist = position_histogram(
+        samples, n_bins=n_bins, event_position=event_position
+    )
+    total = int(hist.sum())
+    if total == 0:
+        return 0.0
+    return float((hist[0] + hist[-1]) / total)

@@ -1,0 +1,102 @@
+"""Ordered event-pair sequence matrices (Figures 6 and 11).
+
+A three-event motif is a sequence of two event pairs; Figure 6 arranges
+all 36 of them in a 6×6 heat map — rows are the first pair's type, columns
+the second's — colour-coding log-scale counts.  This module builds those
+matrices and the asymmetry diagnostics the paper reads off them
+(conveys are followed by out-bursts but rarely by in-bursts, etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.eventpairs import ALL_PAIR_TYPES, PairType
+
+
+def pair_sequence_matrix(
+    sequence_counts: Mapping[tuple, int]
+) -> np.ndarray:
+    """6×6 matrix of counts: rows = first pair type, cols = second.
+
+    ``sequence_counts`` maps pair-type tuples (as produced by the census)
+    to instance counts; only length-2 tuples with both entries classified
+    (no disjoint ``None``) contribute.  Row/column order follows
+    :data:`~repro.core.eventpairs.ALL_PAIR_TYPES` (R, P, I, O, C, W).
+    """
+    index = {ptype: i for i, ptype in enumerate(ALL_PAIR_TYPES)}
+    matrix = np.zeros((6, 6), dtype=float)
+    for seq, count in sequence_counts.items():
+        if len(seq) != 2:
+            continue
+        first, second = seq
+        if first is None or second is None:
+            continue
+        matrix[index[first], index[second]] += count
+    return matrix
+
+
+def log_scaled(matrix: np.ndarray) -> np.ndarray:
+    """Figure 6's colour scale: log counts normalized to [0, 1] per dataset.
+
+    Zero cells map to 0; the per-matrix max maps to 1.
+    """
+    out = np.zeros_like(matrix, dtype=float)
+    positive = matrix > 0
+    if not positive.any():
+        return out
+    logs = np.log10(matrix[positive])
+    lo = float(logs.min())
+    hi = float(logs.max())
+    if hi == lo:
+        out[positive] = 1.0
+    else:
+        out[positive] = (logs - lo) / (hi - lo)
+    return out
+
+
+def asymmetry(matrix: np.ndarray, first: PairType, second: PairType) -> float:
+    """Directional preference between two pair types.
+
+    Returns ``count(first→second) − count(second→first)`` normalized by
+    their sum (0 when both are zero).  Positive = the ``first→second``
+    order dominates; e.g. the paper finds in-burst→convey positive and
+    convey→in-burst negative in message networks.
+    """
+    index = {ptype: i for i, ptype in enumerate(ALL_PAIR_TYPES)}
+    forward = float(matrix[index[first], index[second]])
+    backward = float(matrix[index[second], index[first]])
+    total = forward + backward
+    if total == 0:
+        return 0.0
+    return (forward - backward) / total
+
+
+def row_totals(matrix: np.ndarray) -> dict[PairType, float]:
+    """Total instances whose first pair is each type."""
+    return {ptype: float(matrix[i].sum()) for i, ptype in enumerate(ALL_PAIR_TYPES)}
+
+
+def col_totals(matrix: np.ndarray) -> dict[PairType, float]:
+    """Total instances whose second pair is each type."""
+    return {ptype: float(matrix[:, i].sum()) for i, ptype in enumerate(ALL_PAIR_TYPES)}
+
+
+def dominant_sequences(
+    sequence_counts: Mapping[tuple, int], k: int = 5
+) -> list[tuple[tuple, int]]:
+    """The ``k`` most frequent pair sequences (any length)."""
+    items = [
+        (seq, count)
+        for seq, count in sequence_counts.items()
+        if all(p is not None for p in seq)
+    ]
+    items.sort(key=lambda kv: (-kv[1], tuple(str(p) for p in kv[0])))
+    return items[:k]
+
+
+def sequence_label(seq: Sequence[PairType | None]) -> str:
+    """Compact label like ``"R→O"`` for report rows."""
+    return "→".join("·" if p is None else p.value for p in seq)

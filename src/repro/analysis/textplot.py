@@ -1,0 +1,126 @@
+"""ASCII rendering of histograms and heat maps.
+
+The paper's figures are matplotlib charts; this offline library renders
+the same numeric series as monospace text so that every "figure"
+experiment produces a human-readable artifact alongside its data.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.eventpairs import ALL_PAIR_TYPES
+
+#: Shade ramp for heat maps, light to dark.
+_SHADES = " .:-=+*#%@"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart: one row per label, bars scaled to ``width``."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(empty)"])
+    peak = max(values) if max(values) > 0 else 1.0
+    label_width = max(len(str(lab)) for lab in labels)
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def histogram(
+    edges: np.ndarray,
+    counts: np.ndarray,
+    *,
+    width: int = 40,
+    title: str = "",
+    fmt: str = "{:.0f}",
+) -> str:
+    """Render a binned histogram (as produced by the timespan module)."""
+    labels = [
+        f"[{fmt.format(edges[i])},{fmt.format(edges[i + 1])})"
+        for i in range(len(counts))
+    ]
+    return bar_chart(labels, [float(c) for c in counts], width=width, title=title)
+
+
+def heatmap(
+    matrix: np.ndarray,
+    *,
+    row_labels: Sequence[str] | None = None,
+    col_labels: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Render a matrix as a shaded character grid (Figure 6 style).
+
+    Cell shade is proportional to the value, normalized per matrix;
+    zero cells render as spaces.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    n_rows, n_cols = matrix.shape
+    rows = row_labels if row_labels is not None else [str(i) for i in range(n_rows)]
+    cols = col_labels if col_labels is not None else [str(j) for j in range(n_cols)]
+    peak = matrix.max() if matrix.size and matrix.max() > 0 else 1.0
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(str(r)) for r in rows)
+    header = " " * (label_width + 1) + " ".join(f"{c:>2}" for c in cols)
+    lines.append(header)
+    for i, row_label in enumerate(rows):
+        cells = []
+        for j in range(n_cols):
+            level = matrix[i, j] / peak
+            shade = _SHADES[min(int(level * (len(_SHADES) - 1) + 0.999), len(_SHADES) - 1)]
+            cells.append(shade * 2)
+        lines.append(f"{str(row_label).rjust(label_width)} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def pair_heatmap(matrix: np.ndarray, *, title: str = "") -> str:
+    """Figure-6 heat map with R/P/I/O/C/W axis labels."""
+    labels = [p.value for p in ALL_PAIR_TYPES]
+    return heatmap(matrix, row_labels=labels, col_labels=labels, title=title)
+
+
+def table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    all_rows = [list(header)] + str_rows
+    widths = [max(len(r[i]) for r in all_rows) for i in range(len(header))]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def pie_text(shares: Mapping[object, float], *, title: str = "") -> str:
+    """Textual stand-in for Figure 3's pie charts: label, percent, bar."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for key, share in shares.items():
+        bar = "#" * int(round(40 * share))
+        lines.append(f"{str(key):>2} {100 * share:5.1f}% | {bar}")
+    return "\n".join(lines)

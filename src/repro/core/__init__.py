@@ -1,0 +1,36 @@
+"""Core data structures for temporal network motif analysis.
+
+This subpackage holds the substrate every model and experiment builds on:
+
+* :mod:`repro.core.events` — the event (temporal edge) record types,
+* :mod:`repro.core.temporal_graph` — the indexed temporal graph,
+* :mod:`repro.core.notation` — the paper's 2n-digit motif notation,
+* :mod:`repro.core.eventpairs` — the six-letter event-pair alphabet,
+* :mod:`repro.core.constraints` — the ΔC / ΔW timing constraints.
+"""
+
+from repro.core.constraints import ConstraintRegime, TimingConstraints
+from repro.core.eventpairs import PairType, classify_pair, pair_sequence_of_code
+from repro.core.events import Event, DurativeEvent
+from repro.core.notation import (
+    all_motif_codes,
+    canonical_code,
+    code_edges,
+    node_count_of_code,
+)
+from repro.core.temporal_graph import TemporalGraph
+
+__all__ = [
+    "ConstraintRegime",
+    "DurativeEvent",
+    "Event",
+    "PairType",
+    "TemporalGraph",
+    "TimingConstraints",
+    "all_motif_codes",
+    "canonical_code",
+    "classify_pair",
+    "code_edges",
+    "node_count_of_code",
+    "pair_sequence_of_code",
+]

@@ -1,0 +1,200 @@
+"""Pattern-level motif objects and node orbits.
+
+While the counting APIs aggregate over *all* motif codes, applications
+often care about one specific pattern ("count the ask-reply motif 010210")
+or about a *node's role* inside motifs.  This module provides both:
+
+* :class:`Motif` — a first-class wrapper around a motif code with
+  structural accessors and instance matching,
+* node **orbits** — the position digit a node occupies inside an instance.
+  Hulovatyy et al. build per-node *dynamic graphlet degree vectors* from
+  exactly this information and use them to predict aging-related genes;
+  :func:`node_motif_profiles` computes the analogous vectors here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable, Mapping, Sequence
+
+from repro.algorithms.counting import Predicate
+from repro.algorithms.enumeration import enumerate_instances
+from repro.core.constraints import TimingConstraints
+from repro.core.eventpairs import PairType, pair_sequence_of_code
+from repro.core.notation import (
+    canonical_code,
+    code_edges,
+    is_valid_code,
+    node_count_of_code,
+    parse_code,
+)
+from repro.core.temporal_graph import TemporalGraph
+
+
+class Motif:
+    """A temporal motif pattern, identified by its canonical code.
+
+    >>> m = Motif("010210")
+    >>> m.n_events, m.n_nodes
+    (3, 3)
+    >>> [str(p) for p in m.pair_sequence]
+    ['O', 'P']
+    """
+
+    def __init__(self, code: str) -> None:
+        if not is_valid_code(code):
+            raise ValueError(f"{code!r} is not a canonical single-component motif code")
+        self.code = code
+        self._pairs = parse_code(code)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Motif({self.code!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Motif) and other.code == self.code
+
+    def __hash__(self) -> int:
+        return hash(("Motif", self.code))
+
+    @property
+    def n_events(self) -> int:
+        return len(self._pairs)
+
+    @property
+    def n_nodes(self) -> int:
+        return node_count_of_code(self.code)
+
+    @property
+    def events(self) -> list[tuple[int, int]]:
+        """The ``(source, target)`` digit pairs, chronological."""
+        return list(self._pairs)
+
+    @property
+    def edges(self) -> set[tuple[int, int]]:
+        """Distinct static edges of the pattern."""
+        return code_edges(self.code)
+
+    @property
+    def pair_sequence(self) -> tuple[PairType | None, ...]:
+        """The event-pair sequence (Figure 2's six-letter description)."""
+        return pair_sequence_of_code(self.code)
+
+    def is_two_node_conversation(self) -> bool:
+        """True when every pair is a repetition or ping-pong (2 nodes)."""
+        return all(
+            p in (PairType.REPETITION, PairType.PING_PONG)
+            for p in self.pair_sequence
+        )
+
+    def is_transfer_chain(self) -> bool:
+        """True when every pair is a convey or weakly-connected."""
+        return all(
+            p in (PairType.CONVEY, PairType.WEAKLY_CONNECTED)
+            for p in self.pair_sequence
+        )
+
+    def reciprocated(self) -> bool:
+        """True when the last event reverses the first — the ask-reply
+        signature that Table 3's amplified motifs share."""
+        first = self._pairs[0]
+        last = self._pairs[-1]
+        return first == (last[1], last[0])
+
+    # ------------------------------------------------------------------
+    def matches(self, graph: TemporalGraph, instance: Sequence[int]) -> bool:
+        """Whether an instance's canonical code equals this pattern."""
+        return (
+            canonical_code([graph.events[i].edge for i in instance]) == self.code
+        )
+
+    def instances(
+        self,
+        graph: TemporalGraph,
+        constraints: TimingConstraints,
+        *,
+        predicate: Predicate | None = None,
+    ) -> Iterable[tuple[int, ...]]:
+        """All instances of this pattern in ``graph``."""
+        for inst in enumerate_instances(
+            graph,
+            self.n_events,
+            constraints,
+            max_nodes=self.n_nodes,
+            predicate=predicate,
+        ):
+            if self.matches(graph, inst):
+                yield inst
+
+    def count(
+        self,
+        graph: TemporalGraph,
+        constraints: TimingConstraints,
+        *,
+        predicate: Predicate | None = None,
+    ) -> int:
+        """Number of instances of this pattern."""
+        return sum(1 for _ in self.instances(graph, constraints, predicate=predicate))
+
+
+# ----------------------------------------------------------------------
+# node orbits
+# ----------------------------------------------------------------------
+def instance_orbits(graph: TemporalGraph, instance: Sequence[int]) -> dict[int, int]:
+    """Map each node of an instance to its orbit (digit in the code).
+
+    The orbit of a node is the digit it carries in the canonical code —
+    orbit 0 is the initiator, orbit 1 the first target, etc.  Two nodes of
+    an instance never share an orbit.
+    """
+    mapping: dict[int, int] = {}
+    for idx in instance:
+        ev = graph.events[idx]
+        for node in (ev.u, ev.v):
+            if node not in mapping:
+                mapping[node] = len(mapping)
+    return mapping
+
+
+def node_motif_profiles(
+    graph: TemporalGraph,
+    n_events: int,
+    constraints: TimingConstraints,
+    *,
+    max_nodes: int | None = None,
+    predicate: Predicate | None = None,
+) -> dict[int, Counter]:
+    """Per-node (code, orbit) participation counts.
+
+    Returns ``node -> Counter{(code, orbit): count}`` — the temporal
+    analogue of graphlet degree vectors.  Hulovatyy et al. feed these
+    vectors to a classifier to find aging-related genes; downstream users
+    can featurize nodes the same way (see ``examples/node_roles.py``).
+    """
+    profiles: dict[int, Counter] = defaultdict(Counter)
+    for inst in enumerate_instances(
+        graph, n_events, constraints, max_nodes=max_nodes, predicate=predicate
+    ):
+        code = canonical_code([graph.events[i].edge for i in inst])
+        for node, orbit in instance_orbits(graph, inst).items():
+            profiles[node][(code, orbit)] += 1
+    return dict(profiles)
+
+
+def profile_vector(
+    profile: Mapping[tuple[str, int], int],
+    feature_index: Sequence[tuple[str, int]],
+) -> list[int]:
+    """Project a profile counter onto a fixed feature order (for ML use)."""
+    return [profile.get(feature, 0) for feature in feature_index]
+
+
+def all_orbit_features(n_events: int, max_nodes: int) -> list[tuple[str, int]]:
+    """The full (code, orbit) feature index for a motif family."""
+    from repro.core.notation import all_motif_codes
+
+    features: list[tuple[str, int]] = []
+    for code in all_motif_codes(n_events, max_nodes):
+        for orbit in range(node_count_of_code(code)):
+            features.append((code, orbit))
+    return features

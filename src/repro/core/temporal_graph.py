@@ -1,0 +1,267 @@
+"""Indexed temporal graph: the substrate for all motif enumeration.
+
+The :class:`TemporalGraph` stores a time-sorted event list and maintains
+three indices the enumeration engine and the model restrictions depend on:
+
+* per-node adjacency: for each node, the time-sorted list of indices of
+  events that touch it (used for connected-growth candidate generation and
+  the Kovanen consecutive-events restriction),
+* per-edge occurrences: for each directed static edge ``(u, v)``, the
+  time-sorted list of event indices on that edge (used for the constrained
+  dynamic graphlet restriction),
+* the static projection (used for static inducedness checks).
+
+All indices are plain Python lists of integers plus parallel lists of
+timestamps so that :mod:`bisect` can slice any time window in O(log m).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.events import Event, interevent_times, validate_events
+
+
+class TemporalGraph:
+    """A directed temporal network with time-sorted, indexed events.
+
+    Parameters
+    ----------
+    events:
+        Iterable of :class:`Event` (or 3-tuples).  They are validated,
+        sorted by ``(t, u, v)``, and frozen.
+    name:
+        Optional label used by dataset registry and experiment reports.
+
+    Notes
+    -----
+    Event *indices* (positions in :attr:`events`) are the universal handle
+    throughout the library: enumerators yield tuples of indices, restriction
+    checkers take tuples of indices, and counters convert indices to motif
+    codes.  Indices are stable because the event list is immutable.
+    """
+
+    def __init__(self, events: Iterable[Event], *, name: str = "") -> None:
+        self.events: tuple[Event, ...] = tuple(validate_events(events))
+        self.name = name
+        self.times: list[float] = [ev.t for ev in self.events]
+
+        node_events: dict[int, list[int]] = defaultdict(list)
+        edge_events: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for idx, ev in enumerate(self.events):
+            node_events[ev.u].append(idx)
+            if ev.v != ev.u:
+                node_events[ev.v].append(idx)
+            edge_events[ev.edge].append(idx)
+
+        #: node -> time-sorted event indices touching the node
+        self.node_events: dict[int, list[int]] = dict(node_events)
+        #: node -> timestamps parallel to :attr:`node_events` (bisect keys)
+        self.node_times: dict[int, list[float]] = {
+            node: [self.times[i] for i in idxs] for node, idxs in node_events.items()
+        }
+        #: directed edge -> time-sorted event indices on that edge
+        self.edge_events: dict[tuple[int, int], list[int]] = dict(edge_events)
+        #: directed edge -> timestamps parallel to :attr:`edge_events`
+        self.edge_times: dict[tuple[int, int], list[float]] = {
+            edge: [self.times[i] for i in idxs] for edge, idxs in edge_events.items()
+        }
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<TemporalGraph{label}: {self.num_nodes} nodes, "
+            f"{len(self.events)} events, {self.num_edges} edges>"
+        )
+
+    @property
+    def nodes(self) -> set[int]:
+        """The set of nodes appearing in at least one event."""
+        return set(self.node_events)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_events)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct directed static edges."""
+        return len(self.edge_events)
+
+    @property
+    def timespan(self) -> float:
+        """Time difference between the last and first events (0 if empty)."""
+        if not self.events:
+            return 0.0
+        return self.times[-1] - self.times[0]
+
+    # ------------------------------------------------------------------
+    # static projection
+    # ------------------------------------------------------------------
+    def static_edges(self) -> set[tuple[int, int]]:
+        """All distinct directed edges of the static projection."""
+        return set(self.edge_events)
+
+    def static_neighbors(self, node: int) -> set[int]:
+        """Nodes adjacent to ``node`` in the (directed) static projection."""
+        neighbors: set[int] = set()
+        for idx in self.node_events.get(node, ()):
+            ev = self.events[idx]
+            neighbors.add(ev.v if ev.u == node else ev.u)
+        neighbors.discard(node)
+        return neighbors
+
+    def induced_static_edges(self, nodes: Iterable[int]) -> set[tuple[int, int]]:
+        """Directed static edges with both endpoints in ``nodes``.
+
+        This is the edge set that a *statically induced* motif on ``nodes``
+        (Hulovatyy / Paranjape sense, Section 4.1) must fully cover.
+        """
+        node_set = set(nodes)
+        found: set[tuple[int, int]] = set()
+        for node in node_set:
+            for idx in self.node_events.get(node, ()):
+                ev = self.events[idx]
+                if ev.u in node_set and ev.v in node_set:
+                    found.add(ev.edge)
+        return found
+
+    # ------------------------------------------------------------------
+    # windowed queries (the hot path of every restriction checker)
+    # ------------------------------------------------------------------
+    def node_events_in(self, node: int, t_lo: float, t_hi: float) -> list[int]:
+        """Indices of events touching ``node`` with ``t_lo <= t <= t_hi``."""
+        times = self.node_times.get(node)
+        if times is None:
+            return []
+        lo = bisect.bisect_left(times, t_lo)
+        hi = bisect.bisect_right(times, t_hi)
+        return self.node_events[node][lo:hi]
+
+    def count_node_events_in(self, node: int, t_lo: float, t_hi: float) -> int:
+        """Number of events touching ``node`` in the closed window."""
+        times = self.node_times.get(node)
+        if times is None:
+            return 0
+        return bisect.bisect_right(times, t_hi) - bisect.bisect_left(times, t_lo)
+
+    def edge_events_in(self, edge: tuple[int, int], t_lo: float, t_hi: float) -> list[int]:
+        """Indices of events on directed ``edge`` with ``t_lo <= t <= t_hi``."""
+        times = self.edge_times.get(edge)
+        if times is None:
+            return []
+        lo = bisect.bisect_left(times, t_lo)
+        hi = bisect.bisect_right(times, t_hi)
+        return self.edge_events[edge][lo:hi]
+
+    def count_edge_events_in(self, edge: tuple[int, int], t_lo: float, t_hi: float) -> int:
+        """Number of events on directed ``edge`` in the closed window."""
+        times = self.edge_times.get(edge)
+        if times is None:
+            return 0
+        return bisect.bisect_right(times, t_hi) - bisect.bisect_left(times, t_lo)
+
+    def events_in(self, t_lo: float, t_hi: float) -> list[int]:
+        """Indices of all events with ``t_lo <= t <= t_hi``."""
+        lo = bisect.bisect_left(self.times, t_lo)
+        hi = bisect.bisect_right(self.times, t_hi)
+        return list(range(lo, hi))
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def slice(self, t_lo: float, t_hi: float, *, name: str | None = None) -> "TemporalGraph":
+        """A new graph holding only events in the closed window."""
+        lo = bisect.bisect_left(self.times, t_lo)
+        hi = bisect.bisect_right(self.times, t_hi)
+        return TemporalGraph(self.events[lo:hi], name=name or self.name)
+
+    def head(self, n: int, *, name: str | None = None) -> "TemporalGraph":
+        """A new graph holding the earliest ``n`` events."""
+        return TemporalGraph(self.events[:n], name=name or self.name)
+
+    def degrade_resolution(self, resolution: float, *, name: str | None = None) -> "TemporalGraph":
+        """Snap every timestamp down to a multiple of ``resolution``.
+
+        This is the "degrade the resolution to 300 s" operation of
+        Section 5.1.2 (Table 4): it creates snapshot-like co-occurring
+        timestamps, which is what the constrained dynamic graphlet
+        restriction was designed around.
+        """
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        snapped = (
+            Event(ev.u, ev.v, (ev.t // resolution) * resolution) for ev in self.events
+        )
+        return TemporalGraph(snapped, name=name or self.name)
+
+    def filter_events(
+        self, predicate: Callable[[Event], bool], *, name: str | None = None
+    ) -> "TemporalGraph":
+        """A new graph holding only events for which ``predicate`` is true."""
+        return TemporalGraph(
+            (ev for ev in self.events if predicate(ev)), name=name or self.name
+        )
+
+    def relabeled(self, *, name: str | None = None) -> "TemporalGraph":
+        """A copy with nodes renamed to 0..n-1 in order of first appearance."""
+        mapping: dict[int, int] = {}
+        out: list[Event] = []
+        for ev in self.events:
+            for node in ev.nodes:
+                if node not in mapping:
+                    mapping[node] = len(mapping)
+            out.append(Event(mapping[ev.u], mapping[ev.v], ev.t))
+        return TemporalGraph(out, name=name or self.name)
+
+    # ------------------------------------------------------------------
+    # statistics (Table 2 building blocks)
+    # ------------------------------------------------------------------
+    def unique_timestamps(self) -> int:
+        """Number of distinct timestamps across the whole timespan (#T)."""
+        return len(set(self.times))
+
+    def unique_timestamp_fraction(self) -> float:
+        """Fraction of events whose timestamp is shared with no other event.
+
+        Table 2 column |Eu|/|E|.  Returns 0.0 for an empty graph.
+        """
+        if not self.events:
+            return 0.0
+        counts: dict[float, int] = defaultdict(int)
+        for t in self.times:
+            counts[t] += 1
+        unique = sum(1 for t in self.times if counts[t] == 1)
+        return unique / len(self.events)
+
+    def median_interevent_time(self) -> float:
+        """Median gap between consecutive events (Table 2 column m(Δt))."""
+        gaps = interevent_times(list(self.events))
+        if not gaps:
+            return 0.0
+        gaps.sort()
+        mid = len(gaps) // 2
+        if len(gaps) % 2 == 1:
+            return gaps[mid]
+        return (gaps[mid - 1] + gaps[mid]) / 2
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tuples(
+        cls, triples: Sequence[tuple[int, int, float]], *, name: str = ""
+    ) -> "TemporalGraph":
+        """Build a graph from plain ``(u, v, t)`` tuples."""
+        return cls((Event(*tri) for tri in triples), name=name)

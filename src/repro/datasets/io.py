@@ -1,0 +1,76 @@
+"""Plain-text event-list I/O.
+
+The on-disk format follows the SNAP temporal edge-list convention used by
+the paper's datasets: one event per line, ``<source> <target> <timestamp>``
+separated by whitespace, ``#``-prefixed comment lines allowed.  Timestamps
+are written as integers when integral, floats otherwise.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.events import Event
+from repro.core.temporal_graph import TemporalGraph
+
+
+def write_event_list(graph: TemporalGraph, path: str | Path, *, header: bool = True) -> None:
+    """Write a temporal graph as a whitespace-separated event list."""
+    path = Path(path)
+    with path.open("w") as handle:
+        if header:
+            label = graph.name or "temporal network"
+            handle.write(f"# {label}: {graph.num_nodes} nodes, {len(graph)} events\n")
+            handle.write("# source target timestamp\n")
+        for ev in graph.events:
+            t = int(ev.t) if float(ev.t).is_integer() else ev.t
+            handle.write(f"{ev.u} {ev.v} {t}\n")
+
+
+def read_event_list(path: str | Path, *, name: str = "") -> TemporalGraph:
+    """Read a whitespace-separated event list into a temporal graph.
+
+    Raises :class:`ValueError` with the offending line number on malformed
+    input.
+    """
+    path = Path(path)
+    events: list[Event] = []
+    with path.open() as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 3:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'source target timestamp', got {line!r}"
+                )
+            try:
+                u = int(parts[0])
+                v = int(parts[1])
+                t = float(parts[2])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: unparsable event {line!r}") from exc
+            events.append(Event(u, v, t))
+    return TemporalGraph(events, name=name or path.stem)
+
+
+def roundtrip(graph: TemporalGraph, path: str | Path) -> TemporalGraph:
+    """Write then re-read a graph (test/debug helper)."""
+    write_event_list(graph, path)
+    return read_event_list(path, name=graph.name)
+
+
+def write_many(graphs: Iterable[TemporalGraph], directory: str | Path) -> list[Path]:
+    """Write several graphs into a directory as ``<name>.txt`` files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    for graph in graphs:
+        if not graph.name:
+            raise ValueError("write_many requires named graphs")
+        target = directory / f"{graph.name}.txt"
+        write_event_list(graph, target)
+        paths.append(target)
+    return paths

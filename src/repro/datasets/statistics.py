@@ -1,0 +1,88 @@
+"""Dataset statistics — the building blocks of Table 2.
+
+For each network the paper reports: nodes, events, edges (distinct directed
+node pairs), #T (distinct timestamps), |Eu|/|E| (fraction of events whose
+timestamp is unique), and m(Δt) (median inter-event time in seconds).
+:func:`compute_stats` computes all six; :func:`stats_table` renders the
+table for any collection of graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.temporal_graph import TemporalGraph
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """One row of Table 2."""
+
+    name: str
+    nodes: int
+    events: int
+    edges: int
+    unique_timestamps: int
+    unique_ts_fraction: float
+    median_interevent: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.name,
+            self.nodes,
+            self.events,
+            self.edges,
+            self.unique_timestamps,
+            self.unique_ts_fraction,
+            self.median_interevent,
+        )
+
+
+def compute_stats(graph: TemporalGraph, *, name: str | None = None) -> DatasetStats:
+    """Compute the Table-2 statistics of a temporal graph."""
+    return DatasetStats(
+        name=name if name is not None else (graph.name or "unnamed"),
+        nodes=graph.num_nodes,
+        events=len(graph),
+        edges=graph.num_edges,
+        unique_timestamps=graph.unique_timestamps(),
+        unique_ts_fraction=graph.unique_timestamp_fraction(),
+        median_interevent=graph.median_interevent_time(),
+    )
+
+
+def _fmt_count(n: int) -> str:
+    """Compact K/M formatting, Table-2 style."""
+    if n >= 1_000_000:
+        return f"{n / 1_000_000:.2f}M"
+    if n >= 10_000:
+        return f"{n / 1_000:.1f}K"
+    if n >= 1_000:
+        return f"{n / 1_000:.2f}K"
+    return str(n)
+
+
+def stats_table(stats: Iterable[DatasetStats]) -> str:
+    """Render Table 2 as aligned text."""
+    header = ("Name", "Nodes", "Events", "Edges", "#T", "|Eu|/|E|", "m(Δt)")
+    rows: list[Sequence[str]] = [header]
+    for s in stats:
+        rows.append(
+            (
+                s.name,
+                _fmt_count(s.nodes),
+                _fmt_count(s.events),
+                _fmt_count(s.edges),
+                _fmt_count(s.unique_timestamps),
+                f"{100 * s.unique_ts_fraction:.1f}%",
+                f"{s.median_interevent:.0f}",
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for r, row in enumerate(rows):
+        lines.append("  ".join(str(row[i]).ljust(widths[i]) for i in range(len(header))))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Experiment harness: one module per paper table/figure.
+
+Run from the command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments table3 --scale 0.5
+    python -m repro.experiments all --scale 0.25
+
+or programmatically::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("table5", scale=0.5)
+    print(result.text)
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]

@@ -1,0 +1,62 @@
+"""Command-line entry point: ``python -m repro.experiments <id> [options]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. table3, figure5), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset size multiplier (default 1.0 = registry sizes)",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="*",
+        default=None,
+        help="dataset names to run on (default: per-experiment choice)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for eid, (_run, title) in EXPERIMENTS.items():
+            print(f"{eid:10} {title}")
+        return 0
+    kwargs = {"scale": args.scale}
+    if args.datasets is not None:
+        kwargs["datasets"] = args.datasets
+    started = time.time()
+    if args.experiment == "all":
+        for result in run_all(**kwargs):
+            print(result.text)
+            print()
+    else:
+        try:
+            result = run_experiment(args.experiment, **kwargs)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print(result.text)
+    print(f"[done in {time.time() - started:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Appendix experiments: Figures 7–11.
+
+The journal version's appendix extends the main-text figures to the full
+dataset collection:
+
+* Figures 7–8 — event-pair ratio pies (Figure 3) for all nine datasets,
+  three- and four-event motifs, split in two parts as in the paper;
+* Figure 9 — intermediate event behaviors (Figure 4) on more panels;
+* Figure 10 — motif timespan distributions (Figure 5) on more datasets;
+* Figure 11 — pair-sequence heat maps (Figure 6) for the remaining
+  datasets.
+
+Each is a thin parameterization of the corresponding main-text experiment
+module, registered under its own id so ``python -m repro.experiments
+figure9`` works.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure3, figure4, figure5, figure6
+from repro.experiments.base import ExperimentResult
+
+FIGURE7_DATASETS = ("calls-copenhagen", "college-msg", "email", "fb-wall")
+FIGURE8_DATASETS = (
+    "bitcoin-otc", "sms-a", "sms-copenhagen", "stackoverflow", "superuser",
+)
+FIGURE9_PANELS = (
+    ("calls-copenhagen", "010102"),
+    ("email", "010102"),
+    ("fb-wall", "01022123"),
+    ("bitcoin-otc", "01022123"),
+    ("superuser", "01022123"),
+)
+FIGURE10_DATASETS = (
+    "fb-wall", "sms-copenhagen", "superuser", "calls-copenhagen",
+)
+FIGURE11_DATASETS = (
+    "college-msg", "fb-wall", "stackoverflow", "superuser", "bitcoin-otc",
+)
+
+
+def _retitle(result: ExperimentResult, experiment_id: str, title: str) -> ExperimentResult:
+    result.experiment_id = experiment_id
+    result.title = title
+    result.text = f"{title}\n{result.text}"
+    return result
+
+
+def run_figure7(datasets=None, *, scale: float = 1.0, **kwargs) -> ExperimentResult:
+    """Appendix Figure 7: pair ratios, datasets part 1 (3e and 4e)."""
+    result = figure3.run(
+        datasets if datasets is not None else FIGURE7_DATASETS,
+        scale=scale,
+        **kwargs,
+    )
+    return _retitle(result, "figure7", "Figure 7 (appendix): event-pair ratios, part 1")
+
+
+def run_figure8(datasets=None, *, scale: float = 1.0, **kwargs) -> ExperimentResult:
+    """Appendix Figure 8: pair ratios, datasets part 2 (3e and 4e)."""
+    result = figure3.run(
+        datasets if datasets is not None else FIGURE8_DATASETS,
+        scale=scale,
+        **kwargs,
+    )
+    return _retitle(result, "figure8", "Figure 8 (appendix): event-pair ratios, part 2")
+
+
+def run_figure9(datasets=None, *, scale: float = 1.0, **kwargs) -> ExperimentResult:
+    """Appendix Figure 9: intermediate event behaviors, more panels."""
+    if datasets is not None:
+        result = figure4.run(datasets, scale=scale, **kwargs)
+    else:
+        result = figure4.run(scale=scale, panels=FIGURE9_PANELS, **kwargs)
+    return _retitle(
+        result, "figure9", "Figure 9 (appendix): intermediate event behaviors"
+    )
+
+
+def run_figure10(datasets=None, *, scale: float = 1.0, **kwargs) -> ExperimentResult:
+    """Appendix Figure 10: timespan distributions, more datasets."""
+    result = figure5.run(
+        datasets if datasets is not None else FIGURE10_DATASETS,
+        scale=scale,
+        **kwargs,
+    )
+    return _retitle(
+        result, "figure10", "Figure 10 (appendix): motif timespan distributions"
+    )
+
+
+def run_figure11(datasets=None, *, scale: float = 1.0, **kwargs) -> ExperimentResult:
+    """Appendix Figure 11: pair-sequence heat maps, remaining datasets."""
+    result = figure6.run(
+        datasets if datasets is not None else FIGURE11_DATASETS,
+        scale=scale,
+        **kwargs,
+    )
+    return _retitle(
+        result, "figure11", "Figure 11 (appendix): ordered event-pair sequences"
+    )

@@ -1,0 +1,79 @@
+"""Shared infrastructure for the experiment modules.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` taking at
+least ``datasets`` (names, defaulting per experiment) and ``scale`` (dataset
+size multiplier).  The result carries both a rendered text report (``text``)
+and the raw numbers (``data``) so tests and EXPERIMENTS.md generation can
+assert on values rather than scrape strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.temporal_graph import TemporalGraph
+from repro.datasets.registry import dataset_names, get_dataset
+
+#: Timing parameters used throughout Section 5, in seconds.
+DELTA_C_INDUCEDNESS = 1500.0  # Tables 3, 4, 6, 7
+DELTA_W_TIMING = 3000.0       # Section 5.2 sweeps (Tables 5, Figures 3-5)
+DELTA_C_FIG6 = 2000.0         # Figure 6
+DELTA_W_FIG6 = 3000.0         # Figure 6
+RESOLUTION_CDG = 300.0        # Table 4 snapshot resolution
+
+#: ΔC/ΔW ratios of Section 5.2: three-event and four-event sweeps.
+RATIOS_3E = (0.5, 0.66, 1.0)
+RATIOS_4E = (0.33, 0.5, 0.66, 1.0)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: a report plus machine-readable data."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+def load_graphs(
+    datasets: Iterable[str] | None,
+    *,
+    scale: float = 1.0,
+    default: Sequence[str] | None = None,
+) -> list[TemporalGraph]:
+    """Materialize the requested datasets (or an experiment's default set)."""
+    names = list(datasets) if datasets is not None else list(
+        default if default is not None else dataset_names()
+    )
+    return [get_dataset(name, scale=scale) for name in names]
+
+
+def ratio_label(ratio: float, n_events: int) -> str:
+    """The paper's configuration labels: only-ΔC / ΔW-and-ΔC / only-ΔW."""
+    if ratio >= 1.0:
+        return "only-ΔW"
+    if ratio <= 1 / (n_events - 1):
+        return "only-ΔC"
+    return f"ΔC/ΔW={ratio:g}"
+
+
+def fmt_count(n: float) -> str:
+    """Compact count formatting for report tables."""
+    if n >= 1_000_000:
+        return f"{n / 1_000_000:.2f}M"
+    if n >= 10_000:
+        return f"{n / 1_000:.1f}K"
+    if n >= 1_000:
+        return f"{n / 1_000:.2f}K"
+    return f"{n:g}"
+
+
+def fmt_signed(x: float, *, digits: int = 2) -> str:
+    """Signed fixed-point formatting (Table 4/6/7 cells)."""
+    return f"{x:+.{digits}f}"

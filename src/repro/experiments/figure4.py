@@ -1,0 +1,99 @@
+"""Figure 4 (and appendix Figure 9) — intermediate event behaviors.
+
+For a focus motif, the distribution of the intermediate events' relative
+positions inside the motif window (0 % = first event, 100 % = last) under
+the Section-5.2 configurations.
+
+Expected shape: in only-ΔW the intermediate event is skewed toward one end
+(toward the first event for 010102, whose first pair is a repetition;
+toward the last for 011221, whose last pair is a ping-pong); tightening
+ΔC/ΔW regularizes the distribution — |skew| decreases monotonically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algorithms.counting import run_census
+from repro.analysis.intermediate import position_histogram, skewness
+from repro.analysis.textplot import bar_chart
+from repro.core.constraints import TimingConstraints
+from repro.experiments.base import (
+    DELTA_W_TIMING,
+    RATIOS_3E,
+    RATIOS_4E,
+    ExperimentResult,
+    load_graphs,
+    ratio_label,
+)
+
+EXPERIMENT_ID = "figure4"
+TITLE = "Figure 4: intermediate event occurrence positions"
+
+#: (dataset, motif code) panels of the main-text figure.
+DEFAULT_PANELS = (
+    ("sms-copenhagen", "010102"),
+    ("fb-wall", "011221"),
+    ("college-msg", "01212303"),
+)
+
+
+def run(
+    datasets: Iterable[str] | None = None,
+    *,
+    scale: float = 1.0,
+    delta_w: float = DELTA_W_TIMING,
+    panels: tuple[tuple[str, str], ...] = DEFAULT_PANELS,
+    n_bins: int = 10,
+    **_ignored,
+) -> ExperimentResult:
+    """Histogram intermediate positions for each panel and configuration."""
+    if datasets is not None:
+        panels = tuple((name, "010102") for name in datasets)
+    names = [name for name, _ in panels]
+    graphs = {g.name: g for g in load_graphs(names, scale=scale, default=names)}
+
+    sections: list[str] = [TITLE, ""]
+    data: dict[str, dict] = {}
+    for name, code in panels:
+        graph = graphs[name]
+        n_events = len(code) // 2
+        ratios = RATIOS_3E if n_events == 3 else RATIOS_4E
+        panel_key = f"{name}:{code}"
+        data[panel_key] = {}
+        for ratio in sorted(ratios, reverse=True):
+            census = run_census(
+                graph,
+                n_events,
+                TimingConstraints.from_ratio(delta_w, ratio),
+                max_nodes=min(n_events, 4),
+                collect_positions=True,
+                position_codes=[code],
+            )
+            samples = census.intermediate_positions.get(code, [])
+            label = ratio_label(ratio, n_events)
+            hist = position_histogram(samples, n_bins=n_bins)
+            skew = skewness(samples)
+            data[panel_key][label] = {
+                "histogram": hist.tolist(),
+                "skew": skew,
+                "samples": len(samples),
+            }
+            bins = [f"{int(100 * i / n_bins)}-{int(100 * (i + 1) / n_bins)}%" for i in range(n_bins)]
+            sections.append(
+                bar_chart(
+                    bins,
+                    [float(c) for c in hist],
+                    title=f"{name} motif {code}, {label} (skew {skew:+.3f}, n={len(samples)})",
+                )
+            )
+            sections.append("")
+    notes = ["paper shape: |skew| decreases as ΔC/ΔW tightens"]
+    sections.extend("note: " + n for n in notes)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text="\n".join(sections),
+        data=data,
+        notes=notes,
+    )

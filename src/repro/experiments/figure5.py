@@ -1,0 +1,89 @@
+"""Figure 5 (and appendix Figure 10) — motif timespan distributions.
+
+For a focus motif (010102 in the main text), the distribution of instance
+timespans (last minus first event) under only-ΔC, ΔW-and-ΔC, and only-ΔW.
+
+Expected shape: only-ΔC yields a bell-shaped distribution that ΔC bounds
+only loosely; moving toward only-ΔW regularizes it — the uniformity score
+over [0, ΔW] increases monotonically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algorithms.counting import run_census
+from repro.analysis.textplot import histogram
+from repro.analysis.timespan import timespan_histogram, timespan_summary, uniformity
+from repro.core.constraints import TimingConstraints
+from repro.experiments.base import (
+    DELTA_W_TIMING,
+    RATIOS_3E,
+    ExperimentResult,
+    load_graphs,
+    ratio_label,
+)
+
+EXPERIMENT_ID = "figure5"
+TITLE = "Figure 5: motif timespan distributions (motif 010102)"
+
+DEFAULT_DATASETS = ("college-msg", "fb-wall", "sms-copenhagen")
+DEFAULT_CODE = "010102"
+
+
+def run(
+    datasets: Iterable[str] | None = None,
+    *,
+    scale: float = 1.0,
+    delta_w: float = DELTA_W_TIMING,
+    code: str = DEFAULT_CODE,
+    n_bins: int = 12,
+    **_ignored,
+) -> ExperimentResult:
+    """Collect timespan histograms of ``code`` per dataset and configuration."""
+    graphs = load_graphs(datasets, scale=scale, default=DEFAULT_DATASETS)
+    n_events = len(code) // 2
+    sections: list[str] = [TITLE, ""]
+    data: dict[str, dict] = {}
+    for graph in graphs:
+        data[graph.name] = {}
+        for ratio in sorted(RATIOS_3E):
+            census = run_census(
+                graph,
+                n_events,
+                TimingConstraints.from_ratio(delta_w, ratio),
+                max_nodes=min(n_events, 4),
+                collect_timespans=True,
+                timespan_codes=[code],
+            )
+            spans = census.timespans.get(code, [])
+            label = ratio_label(ratio, n_events)
+            edges, counts = timespan_histogram(spans, n_bins=n_bins, upper=delta_w)
+            summary = timespan_summary(spans)
+            uni = uniformity(spans, upper=delta_w, n_bins=n_bins)
+            data[graph.name][label] = {
+                "histogram": counts.tolist(),
+                "edges": edges.tolist(),
+                "summary": summary,
+                "uniformity": uni,
+            }
+            sections.append(
+                histogram(
+                    edges,
+                    counts,
+                    title=(
+                        f"{graph.name} motif {code}, {label} "
+                        f"({summary}, uniformity {uni:.2f})"
+                    ),
+                )
+            )
+            sections.append("")
+    notes = ["paper shape: distributions regularize going only-ΔC → only-ΔW"]
+    sections.extend("note: " + n for n in notes)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text="\n".join(sections),
+        data=data,
+        notes=notes,
+    )

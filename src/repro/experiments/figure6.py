@@ -1,0 +1,80 @@
+"""Figure 6 (and appendix Figure 11) — ordered sequences of event pairs.
+
+For each dataset, the 6×6 matrix of three-event motif counts indexed by
+(first pair type, second pair type), counted with both constraints
+(ΔC = 2000 s, ΔW = 3000 s) and rendered as a log-scaled heat map.
+
+Expected shapes: repetition-involving sequences dominate;
+weakly-connected rows/columns are nearly empty; message networks live in
+the R/P block (two-node conversations); asymmetries — convey followed by
+out-burst common, convey followed by in-burst rare; in-burst followed by
+convey common, the reverse rare.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algorithms.counting import run_census
+from repro.analysis.pairseq import asymmetry, log_scaled, pair_sequence_matrix
+from repro.analysis.textplot import pair_heatmap
+from repro.core.constraints import TimingConstraints
+from repro.core.eventpairs import PairType
+from repro.experiments.base import (
+    DELTA_C_FIG6,
+    DELTA_W_FIG6,
+    ExperimentResult,
+    load_graphs,
+)
+
+EXPERIMENT_ID = "figure6"
+TITLE = "Figure 6: ordered sequences of event pairs (ΔC=2000s, ΔW=3000s)"
+
+DEFAULT_DATASETS = ("sms-a", "sms-copenhagen", "calls-copenhagen", "email")
+
+
+def run(
+    datasets: Iterable[str] | None = None,
+    *,
+    scale: float = 1.0,
+    delta_c: float = DELTA_C_FIG6,
+    delta_w: float = DELTA_W_FIG6,
+    **_ignored,
+) -> ExperimentResult:
+    """Build the pair-sequence matrix of every dataset."""
+    graphs = load_graphs(datasets, scale=scale, default=DEFAULT_DATASETS)
+    constraints = TimingConstraints(delta_c=delta_c, delta_w=delta_w)
+    sections: list[str] = [TITLE, ""]
+    data: dict[str, dict] = {}
+    for graph in graphs:
+        census = run_census(graph, 3, constraints, max_nodes=3)
+        matrix = pair_sequence_matrix(census.pair_sequence_counts)
+        scaled = log_scaled(matrix)
+        sections.append(
+            pair_heatmap(
+                scaled,
+                title=f"{graph.name} (rows: first pair, cols: second pair; log scale)",
+            )
+        )
+        asym = {
+            "C_then_O_vs_O_then_C": asymmetry(matrix, PairType.CONVEY, PairType.OUT_BURST),
+            "I_then_C_vs_C_then_I": asymmetry(matrix, PairType.IN_BURST, PairType.CONVEY),
+        }
+        sections.append(
+            f"asymmetries: C→O preference {asym['C_then_O_vs_O_then_C']:+.2f}, "
+            f"I→C preference {asym['I_then_C_vs_C_then_I']:+.2f}"
+        )
+        sections.append("")
+        data[graph.name] = {"matrix": matrix.tolist(), "asymmetries": asym}
+    notes = [
+        "paper shapes: repetition sequences dominate; weakly-connected pairs rare;",
+        "conveys followed by out-bursts, in-bursts followed by conveys (not vice versa)",
+    ]
+    sections.extend("note: " + n for n in notes)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text="\n".join(sections),
+        data=data,
+        notes=notes,
+    )

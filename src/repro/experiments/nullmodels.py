@@ -1,0 +1,124 @@
+"""The null-model dilemma (Section 5, "Comparison criteria").
+
+The paper reports a negative result that shapes its whole methodology:
+among the randomized reference models of Gauvin et al., "some are too
+restrictive where the motif counts barely change, and some others are too
+loose where all the motifs are reported as significant" — hence the paper
+falls back to raw counts as the significance indicator.
+
+This experiment reproduces that dilemma quantitatively on one dataset:
+
+* **loose null** — timestamp permutation: destroys burstiness, so real
+  motif counts sit many standard deviations above the ensemble and almost
+  every motif is flagged "significant";
+* **restrictive null** — per-edge inter-event shuffle: preserves per-edge
+  trains, so counts barely move and almost nothing is flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.algorithms.counting import count_motifs
+from repro.analysis.textplot import table
+from repro.core.constraints import TimingConstraints
+from repro.core.notation import motif_codes_with_nodes
+from repro.experiments.base import ExperimentResult, load_graphs
+from repro.randomization.shuffles import (
+    motif_zscore,
+    permuted_timestamps,
+    shuffle_interevent_times,
+)
+
+EXPERIMENT_ID = "nullmodels"
+TITLE = "Null models: too loose vs too restrictive (Sec. 5, comparison criteria)"
+
+DEFAULT_DATASETS = ("sms-copenhagen",)
+Z_THRESHOLD = 2.0
+
+
+def run(
+    datasets: Iterable[str] | None = None,
+    *,
+    scale: float = 1.0,
+    delta_c: float = 1500.0,
+    n_null: int = 5,
+    **_ignored,
+) -> ExperimentResult:
+    """Score every 3n3e motif against both null ensembles."""
+    graphs = load_graphs(datasets, scale=scale, default=DEFAULT_DATASETS)
+    constraints = TimingConstraints.only_c(delta_c)
+    universe = motif_codes_with_nodes(3, 3)
+
+    rows = []
+    data: dict[str, dict] = {}
+    for graph in graphs:
+        observed = count_motifs(graph, 3, constraints, max_nodes=3, node_counts={3})
+        nulls = {
+            "loose (P(t))": [
+                count_motifs(
+                    permuted_timestamps(graph, seed=s), 3, constraints,
+                    max_nodes=3, node_counts={3},
+                )
+                for s in range(n_null)
+            ],
+            "restrictive (P(Δt))": [
+                count_motifs(
+                    shuffle_interevent_times(graph, seed=s), 3, constraints,
+                    max_nodes=3, node_counts={3},
+                )
+                for s in range(n_null)
+            ],
+        }
+        entry: dict[str, dict] = {"observed_total": sum(observed.values())}
+        for label, samples in nulls.items():
+            zscores = motif_zscore(observed, samples)
+            flagged = sum(
+                1
+                for code in universe
+                if observed.get(code, 0) > 0 and abs(zscores.get(code, 0.0)) > Z_THRESHOLD
+            )
+            present = sum(1 for code in universe if observed.get(code, 0) > 0)
+            null_total = float(np.mean([sum(s.values()) for s in samples]))
+            count_shift = (
+                abs(sum(observed.values()) - null_total)
+                / max(sum(observed.values()), 1)
+            )
+            entry[label] = {
+                "flagged": flagged,
+                "present": present,
+                "flagged_fraction": flagged / max(present, 1),
+                "count_shift": count_shift,
+                "null_total": null_total,
+            }
+            rows.append(
+                (
+                    graph.name,
+                    label,
+                    f"{sum(observed.values())}",
+                    f"{null_total:.0f}",
+                    f"{100 * count_shift:.0f}%",
+                    f"{flagged}/{present}",
+                )
+            )
+        data[graph.name] = entry
+
+    text = table(
+        ("Network", "null model", "observed", "null mean", "count shift", "|z|>2"),
+        rows,
+        title=TITLE,
+    )
+    notes = [
+        "loose null: counts collapse without burstiness -> most motifs flagged",
+        "restrictive null: per-edge trains preserved -> counts barely shift, few flags",
+        "this is why the paper uses raw counts as the significance indicator",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text=text + "\n" + "\n".join("note: " + n for n in notes),
+        data=data,
+        notes=notes,
+    )

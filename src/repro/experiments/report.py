@@ -1,0 +1,89 @@
+"""Assemble a full reproduction report across experiments.
+
+``python -m repro.experiments all`` prints each artifact; this module
+builds a single markdown document instead — headings per experiment, the
+rendered artifact in a code fence, and the experiment's shape notes — so a
+complete run can be archived as one file::
+
+    from repro.experiments.report import write_report
+    write_report("report.md", scale=0.5)
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+#: Default report order: main text artifacts, then the appendix.
+DEFAULT_ORDER: tuple[str, ...] = (
+    "table1", "figure1", "table2", "table3", "table4", "table5",
+    "figure3", "figure4", "figure5", "figure6",
+    "table6", "table7",
+    "figure7", "figure8", "figure9", "figure10", "figure11",
+    "nullmodels",
+)
+
+
+def build_report(
+    experiment_ids: Sequence[str] | None = None,
+    *,
+    scale: float = 1.0,
+    datasets: Iterable[str] | None = None,
+) -> str:
+    """Run experiments and render one markdown document."""
+    ids = list(experiment_ids) if experiment_ids is not None else list(DEFAULT_ORDER)
+    unknown = [eid for eid in ids if eid not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+
+    lines: list[str] = [
+        "# Reproduction report — Temporal Network Motifs",
+        "",
+        f"scale = {scale:g}"
+        + (f", datasets = {sorted(datasets)}" if datasets is not None else ""),
+        "",
+    ]
+    kwargs: dict = {"scale": scale}
+    if datasets is not None:
+        kwargs["datasets"] = list(datasets)
+    for eid in ids:
+        started = time.time()
+        result = run_experiment(eid, **kwargs)
+        elapsed = time.time() - started
+        lines.extend(_render_section(result, elapsed))
+    return "\n".join(lines)
+
+
+def _render_section(result: ExperimentResult, elapsed: float) -> list[str]:
+    lines = [f"## {result.title}", ""]
+    lines.append("```text")
+    lines.append(result.text)
+    lines.append("```")
+    if result.notes:
+        lines.append("")
+        for note in result.notes:
+            lines.append(f"* {note}")
+    lines.append("")
+    lines.append(f"_regenerated in {elapsed:.1f}s via "
+                 f"`python -m repro.experiments {result.experiment_id}`_")
+    lines.append("")
+    return lines
+
+
+def write_report(
+    path: str | Path,
+    experiment_ids: Sequence[str] | None = None,
+    *,
+    scale: float = 1.0,
+    datasets: Iterable[str] | None = None,
+) -> Path:
+    """Build and write the report; returns the path."""
+    path = Path(path)
+    path.write_text(
+        build_report(experiment_ids, scale=scale, datasets=datasets)
+    )
+    return path

@@ -1,0 +1,95 @@
+"""Table 3 — the impact of the consecutive events restriction.
+
+For each dataset, count all 3n3e motifs with ΔC = 1500 s *without* and
+*with* Kovanen's consecutive-events restriction, and report the rank
+changes of the four ask-reply motifs the paper singles out (010210,
+011210, 012010, 012110 — each ends with a reply to the first event with a
+different conversation interposed).
+
+Expected shapes (Section 5.1.1): the restriction removes the large
+majority of motifs (over 95 % in the paper's message networks, least in
+Bitcoin-otc), and the ask-reply motifs ascend in rank.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algorithms.counting import count_motifs
+from repro.algorithms.restrictions import satisfies_consecutive_events
+from repro.analysis.rankings import rank_changes, reduction_rate
+from repro.analysis.textplot import table
+from repro.core.constraints import TimingConstraints
+from repro.core.notation import motif_codes_with_nodes
+from repro.experiments.base import (
+    DELTA_C_INDUCEDNESS,
+    ExperimentResult,
+    fmt_count,
+    load_graphs,
+)
+
+EXPERIMENT_ID = "table3"
+TITLE = "Table 3: impact of the consecutive events restriction (ΔC=1500s)"
+
+#: The ask-reply motifs Table 3 highlights.
+FOCUS_MOTIFS = ("010210", "011210", "012010", "012110")
+
+
+def run(
+    datasets: Iterable[str] | None = None,
+    *,
+    scale: float = 1.0,
+    delta_c: float = DELTA_C_INDUCEDNESS,
+    **_ignored,
+) -> ExperimentResult:
+    """Count 3n3e motifs without/with the restriction on every dataset."""
+    graphs = load_graphs(datasets, scale=scale)
+    universe = motif_codes_with_nodes(3, 3)
+    constraints = TimingConstraints.only_c(delta_c)
+
+    rows = []
+    data: dict[str, dict] = {}
+    for graph in graphs:
+        non_cons = count_motifs(graph, 3, constraints, max_nodes=3, node_counts={3})
+        cons = count_motifs(
+            graph,
+            3,
+            constraints,
+            max_nodes=3,
+            node_counts={3},
+            predicate=satisfies_consecutive_events,
+        )
+        changes = rank_changes(non_cons, cons, universe=universe)
+        survival = reduction_rate(non_cons, cons)
+        rows.append(
+            (
+                graph.name,
+                fmt_count(sum(non_cons.values())),
+                fmt_count(sum(cons.values())),
+                f"{100 * survival:.1f}%",
+            )
+            + tuple(f"{changes[m]:+d}" for m in FOCUS_MOTIFS)
+        )
+        data[graph.name] = {
+            "non_consecutive": dict(non_cons),
+            "consecutive": dict(cons),
+            "survival": survival,
+            "rank_changes": changes,
+        }
+
+    text = table(
+        ("Network", "Non-cons.", "Cons.", "survive") + FOCUS_MOTIFS,
+        rows,
+        title=TITLE,
+    )
+    notes = [
+        "positive rank changes = the motif ascends once the restriction is applied",
+        "paper shape: >95% of motifs removed in message networks; ask-reply motifs amplified",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text=text + "\n" + "\n".join("note: " + n for n in notes),
+        data=data,
+        notes=notes,
+    )

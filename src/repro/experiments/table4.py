@@ -1,0 +1,95 @@
+"""Table 4 — vanilla temporal motifs vs constrained dynamic graphlets.
+
+Every dataset is degraded to 300 s resolution (the CDG restriction was
+designed around snapshot data; at 1 s resolution nearly every motif escapes
+it — see Section 5.1.2), then 3n3e motifs are counted with ΔC = 1500 s
+without and with the CDG restriction.  Reported per dataset: the variance
+of the per-motif proportion changes and the changes of the paper's four
+focus motifs (010102, 010202, 012020 — immediate repetitions, expected to
+*gain* share; 010201 — the delayed repetition, expected to *lose*).
+
+Bitcoin-otc has no repeated edges, so CDG changes nothing: its row is
+exactly zero.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algorithms.counting import count_motifs
+from repro.algorithms.restrictions import satisfies_cdg
+from repro.analysis.proportions import proportion_changes, proportion_variance
+from repro.analysis.textplot import table
+from repro.core.constraints import TimingConstraints
+from repro.core.notation import motif_codes_with_nodes
+from repro.experiments.base import (
+    DELTA_C_INDUCEDNESS,
+    RESOLUTION_CDG,
+    ExperimentResult,
+    fmt_signed,
+    load_graphs,
+)
+
+EXPERIMENT_ID = "table4"
+TITLE = "Table 4: constrained dynamic graphlets at 300s resolution (ΔC=1500s)"
+
+#: The focus motifs of Table 4.
+FOCUS_MOTIFS = ("010102", "010202", "012020", "010201")
+
+
+def run(
+    datasets: Iterable[str] | None = None,
+    *,
+    scale: float = 1.0,
+    delta_c: float = DELTA_C_INDUCEDNESS,
+    resolution: float = RESOLUTION_CDG,
+    **_ignored,
+) -> ExperimentResult:
+    """Compare vanilla and CDG-restricted 3n3e counts per dataset."""
+    graphs = load_graphs(datasets, scale=scale)
+    universe = motif_codes_with_nodes(3, 3)
+    constraints = TimingConstraints.only_c(delta_c)
+
+    rows = []
+    data: dict[str, dict] = {}
+    for original in graphs:
+        graph = original.degrade_resolution(resolution)
+        vanilla = count_motifs(graph, 3, constraints, max_nodes=3, node_counts={3})
+        cdg = count_motifs(
+            graph,
+            3,
+            constraints,
+            max_nodes=3,
+            node_counts={3},
+            predicate=satisfies_cdg,
+        )
+        changes = proportion_changes(vanilla, cdg, universe=universe)
+        variance = proportion_variance(changes)
+        rows.append(
+            (graph.name, f"{variance:.2f}")
+            + tuple(fmt_signed(changes[m]) + "%" for m in FOCUS_MOTIFS)
+        )
+        data[graph.name] = {
+            "vanilla": dict(vanilla),
+            "cdg": dict(cdg),
+            "changes": changes,
+            "variance": variance,
+        }
+
+    text = table(
+        ("Network", "Variance") + FOCUS_MOTIFS,
+        rows,
+        title=TITLE,
+    )
+    notes = [
+        "cells are proportion changes in percentage points, vanilla → CDG",
+        "paper shape: 010201 (delayed repetition) decreases, immediate repetitions increase;",
+        "bitcoin-otc is exactly zero (no repeated edges)",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text=text + "\n" + "\n".join("note: " + n for n in notes),
+        data=data,
+        notes=notes,
+    )

@@ -1,0 +1,94 @@
+"""Table 5 — event-pair group counts across timing configurations.
+
+With ΔW fixed at 3000 s, three-event motifs are counted under the three
+Section-5.2 configurations — only-ΔW (ΔC/ΔW = 1.0), ΔW-and-ΔC (0.66), and
+only-ΔC (0.5) — and classified by pair composition: **R,P,I,O motifs**
+(every pair bursty/local) vs **C,W motifs** (every pair a transfer type).
+
+Expected shapes: counts shrink monotonically toward only-ΔC (subset
+property); the R,P,I,O group shrinks *faster* than C,W (transfer chains
+are causal and tight in time, so ΔC spares them); R,P,I,O outnumber C,W
+by an order of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algorithms.counting import run_census
+from repro.analysis.textplot import table
+from repro.core.constraints import TimingConstraints
+from repro.experiments.base import (
+    DELTA_W_TIMING,
+    RATIOS_3E,
+    ExperimentResult,
+    fmt_count,
+    load_graphs,
+    ratio_label,
+)
+
+EXPERIMENT_ID = "table5"
+TITLE = "Table 5: event-pair groups under only-ΔW / ΔW-and-ΔC / only-ΔC (ΔW=3000s)"
+
+#: The paper's Table 5 datasets.
+DEFAULT_DATASETS = (
+    "college-msg",
+    "fb-wall",
+    "bitcoin-otc",
+    "sms-copenhagen",
+    "sms-a",
+)
+
+
+def run(
+    datasets: Iterable[str] | None = None,
+    *,
+    scale: float = 1.0,
+    delta_w: float = DELTA_W_TIMING,
+    ratios: tuple[float, ...] = RATIOS_3E,
+    **_ignored,
+) -> ExperimentResult:
+    """Count pair-composition groups per dataset and configuration."""
+    graphs = load_graphs(datasets, scale=scale, default=DEFAULT_DATASETS)
+    configs = [
+        (ratio_label(r, 3), TimingConstraints.from_ratio(delta_w, r))
+        for r in sorted(ratios, reverse=True)
+    ]
+
+    rows = []
+    data: dict[str, dict] = {}
+    for graph in graphs:
+        group_by_config: dict[str, dict[str, int]] = {}
+        for label, constraints in configs:
+            census = run_census(graph, 3, constraints, max_nodes=3)
+            group_by_config[label] = census.pair_group_counts()
+        base_label = configs[0][0]
+        base = group_by_config[base_label]
+        for group in ("RPIO", "CW"):
+            cells = [graph.name if group == "RPIO" else "", group]
+            for label, _ in configs:
+                count = group_by_config[label][group]
+                cells.append(fmt_count(count))
+                if label != base_label:
+                    denom = max(base[group], 1)
+                    cells.append(f"{100 * count / denom:.1f}%")
+            rows.append(tuple(cells))
+        data[graph.name] = group_by_config
+
+    header: list[str] = ["Network", "Motif group"]
+    for label, _ in configs:
+        header.append(label)
+        if label != configs[0][0]:
+            header.append("ratio")
+    notes = [
+        "ratio columns are relative to the only-ΔW configuration",
+        "paper shape: R,P,I,O reduced more than C,W; counts monotone decreasing",
+    ]
+    text = table(tuple(header), rows, title=TITLE)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text=text + "\n" + "\n".join("note: " + n for n in notes),
+        data=data,
+        notes=notes,
+    )

@@ -1,0 +1,76 @@
+"""Table 7 (appendix) — full proportion changes of all 32 3n3e motifs.
+
+The complete version of Table 4: the proportion change (percentage points)
+of every 3n3e motif when going from vanilla temporal motifs to constrained
+dynamic graphlets, at 300 s resolution with ΔC = 1500 s.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algorithms.counting import count_motifs
+from repro.algorithms.restrictions import satisfies_cdg
+from repro.analysis.proportions import proportion_changes
+from repro.analysis.textplot import table
+from repro.core.constraints import TimingConstraints
+from repro.core.notation import motif_codes_with_nodes
+from repro.experiments.base import (
+    DELTA_C_INDUCEDNESS,
+    RESOLUTION_CDG,
+    ExperimentResult,
+    fmt_signed,
+    load_graphs,
+)
+
+EXPERIMENT_ID = "table7"
+TITLE = "Table 7: proportion changes of all 3n3e motifs, vanilla → CDG (300s resolution)"
+
+DEFAULT_DATASETS = (
+    "calls-copenhagen",
+    "sms-copenhagen",
+    "college-msg",
+    "email",
+    "fb-wall",
+)
+
+
+def run(
+    datasets: Iterable[str] | None = None,
+    *,
+    scale: float = 1.0,
+    delta_c: float = DELTA_C_INDUCEDNESS,
+    resolution: float = RESOLUTION_CDG,
+    **_ignored,
+) -> ExperimentResult:
+    """Proportion-change matrix: rows = 32 motif codes, columns = datasets."""
+    graphs = load_graphs(datasets, scale=scale, default=DEFAULT_DATASETS)
+    universe = motif_codes_with_nodes(3, 3)
+    constraints = TimingConstraints.only_c(delta_c)
+
+    per_dataset: dict[str, dict[str, float]] = {}
+    for original in graphs:
+        graph = original.degrade_resolution(resolution)
+        vanilla = count_motifs(graph, 3, constraints, max_nodes=3, node_counts={3})
+        cdg = count_motifs(
+            graph,
+            3,
+            constraints,
+            max_nodes=3,
+            node_counts={3},
+            predicate=satisfies_cdg,
+        )
+        per_dataset[graph.name] = proportion_changes(vanilla, cdg, universe=universe)
+
+    names = list(per_dataset)
+    rows = [
+        (code,) + tuple(fmt_signed(per_dataset[name][code]) + "%" for name in names)
+        for code in universe
+    ]
+    text = table(("Motif",) + tuple(names), rows, title=TITLE)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text=text,
+        data={"proportion_changes": per_dataset},
+    )

@@ -1,0 +1,30 @@
+"""The four temporal motif models surveyed by the paper (Section 4).
+
+* :class:`~repro.models.kovanen.KovanenModel` — Kovanen et al. 2011,
+* :class:`~repro.models.song.SongModel` — Song et al. 2014,
+* :class:`~repro.models.hulovatyy.HulovatyyModel` — Hulovatyy et al. 2015,
+* :class:`~repro.models.paranjape.ParanjapeModel` — Paranjape et al. 2017,
+
+plus the Table-1 aspect matrix in :mod:`repro.models.aspects`.
+"""
+
+from repro.models.aspects import ASPECT_ROWS, aspect_table
+from repro.models.base import ModelAspects, MotifModel
+from repro.models.hulovatyy import HulovatyyModel
+from repro.models.kovanen import KovanenModel
+from repro.models.paranjape import ParanjapeModel
+from repro.models.song import SongModel
+
+ALL_MODELS = (KovanenModel, SongModel, HulovatyyModel, ParanjapeModel)
+
+__all__ = [
+    "ALL_MODELS",
+    "ASPECT_ROWS",
+    "HulovatyyModel",
+    "KovanenModel",
+    "ModelAspects",
+    "MotifModel",
+    "ParanjapeModel",
+    "SongModel",
+    "aspect_table",
+]

@@ -1,0 +1,98 @@
+"""The paper's Table 1 — aspects of the four temporal motif models.
+
+:data:`ASPECT_ROWS` is the machine-readable matrix; :func:`aspect_table`
+renders it in the paper's layout (one column per model, one row per aspect,
+check marks for booleans).
+"""
+
+from __future__ import annotations
+
+from repro.models.base import ModelAspects
+
+#: Model name -> Table-1 row, in the paper's column order.
+ASPECT_ROWS: dict[str, ModelAspects] = {
+    "Kovanen et al. [11]": ModelAspects(
+        induced="node-based temporal",
+        event_durations=False,
+        partial_ordering=True,
+        directed_edges=True,
+        node_edge_labels=False,
+        uses_delta_c=True,
+        uses_delta_w=False,
+    ),
+    "Song et al. [12]": ModelAspects(
+        induced="none",
+        event_durations=False,
+        partial_ordering=True,
+        directed_edges=True,
+        node_edge_labels=True,
+        uses_delta_c=False,
+        uses_delta_w=True,
+    ),
+    "Hulovatyy et al. [13]": ModelAspects(
+        induced="static only",
+        event_durations=True,
+        partial_ordering=False,
+        directed_edges=False,
+        node_edge_labels=False,
+        uses_delta_c=True,
+        uses_delta_w=False,
+    ),
+    "Paranjape et al. [14]": ModelAspects(
+        induced="static only",
+        event_durations=False,
+        partial_ordering=False,
+        directed_edges=True,
+        node_edge_labels=False,
+        uses_delta_c=False,
+        uses_delta_w=True,
+    ),
+}
+
+#: Row labels of Table 1, paired with the ModelAspects attribute they read.
+ASPECT_LABELS: tuple[tuple[str, str], ...] = (
+    ("Induced subgraph (Sec. 4.1)", "induced"),
+    ("Event durations (Sec. 4.2)", "event_durations"),
+    ("Partial ordering (Sec. 4.3)", "partial_ordering"),
+    ("Directed edges (Sec. 4.4)", "directed_edges"),
+    ("Node/Edge labels (Sec. 4.4)", "node_edge_labels"),
+    ("Adjacent events in ΔC (Sec. 4.5)", "uses_delta_c"),
+    ("Entire motif in ΔW (Sec. 4.5)", "uses_delta_w"),
+)
+
+
+def _cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if value == "none":
+        return "no"
+    return str(value)
+
+
+def aspect_table() -> str:
+    """Render Table 1 as aligned text."""
+    models = list(ASPECT_ROWS)
+    header = ["Aspect"] + models
+    rows = [header]
+    for label, attr in ASPECT_LABELS:
+        row = [label]
+        for model in models:
+            row.append(_cell(getattr(ASPECT_ROWS[model], attr)))
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for r, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def aspect_matrix() -> dict[str, dict[str, object]]:
+    """Table 1 as nested dicts: aspect label -> model -> cell value."""
+    out: dict[str, dict[str, object]] = {}
+    for label, attr in ASPECT_LABELS:
+        out[label] = {
+            model: getattr(row, attr) for model, row in ASPECT_ROWS.items()
+        }
+    return out

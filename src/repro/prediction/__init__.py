@@ -1,0 +1,23 @@
+"""Event prediction from event-pair sequences.
+
+The paper's Discussion names this as intended future work: "We also intend
+to utilize the sequence of event pairs for the event prediction."  This
+package implements the natural baseline: a Markov model over the
+six-letter event-pair alphabet, learned from a temporal network's pair
+transitions, that predicts (a) the relation of the next event to the
+current one and (b) concrete next-event candidates.
+"""
+
+from repro.prediction.pairs import (
+    NextEventPrediction,
+    PairTransitionModel,
+    evaluate_pair_prediction,
+    pair_transitions,
+)
+
+__all__ = [
+    "NextEventPrediction",
+    "PairTransitionModel",
+    "evaluate_pair_prediction",
+    "pair_transitions",
+]

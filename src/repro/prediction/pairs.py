@@ -1,0 +1,214 @@
+"""A Markov model over event-pair types, for next-event prediction.
+
+Training data: for every event in a temporal network, its relation (one
+of the six pair types) to the *next* event sharing a node with it within a
+horizon.  The model learns ``P(next pair type | current pair type)`` — the
+same transition structure Figure 6 renders as heat maps — plus the
+marginal distribution for cold starts.
+
+Prediction: given the latest event, rank the six pair types; each type
+maps deterministically to a concrete candidate event shape (e.g. PING_PONG
+on event ``(u, v)`` predicts ``(v, u)``), so the model also emits
+next-event candidates where the shape pins both endpoints (R, P) or one
+endpoint plus a role (I, O, C, W).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.eventpairs import ALL_PAIR_TYPES, PairType, classify_pair
+from repro.core.events import Event
+from repro.core.temporal_graph import TemporalGraph
+
+
+def pair_transitions(
+    graph: TemporalGraph, horizon: float
+) -> Iterator[tuple[PairType, PairType]]:
+    """Consecutive (pair type, next pair type) observations.
+
+    For each event ``e`` the *successor* is the earliest strictly later
+    event within ``horizon`` that shares a node with ``e``; chains of
+    successors yield the transition stream.  Events without a successor
+    terminate their chain.
+    """
+    successor: list[int | None] = [None] * len(graph.events)
+    for idx, ev in enumerate(graph.events):
+        successor[idx] = _next_adjacent(graph, idx, ev, horizon)
+    for idx in range(len(graph.events)):
+        mid = successor[idx]
+        if mid is None:
+            continue
+        last = successor[mid]
+        if last is None:
+            continue
+        first_type = classify_pair(graph.events[idx].edge, graph.events[mid].edge)
+        second_type = classify_pair(graph.events[mid].edge, graph.events[last].edge)
+        if first_type is not None and second_type is not None:
+            yield first_type, second_type
+
+
+def _next_adjacent(
+    graph: TemporalGraph, idx: int, ev: Event, horizon: float
+) -> int | None:
+    """Earliest strictly-later event within ``horizon`` sharing a node."""
+    t = graph.times[idx]
+    best: int | None = None
+    best_key: tuple[float, int] | None = None
+    for node in (ev.u, ev.v):
+        times = graph.node_times[node]
+        lo = bisect.bisect_right(times, t)
+        hi = bisect.bisect_right(times, t + horizon)
+        for pos in range(lo, hi):
+            cand = graph.node_events[node][pos]
+            key = (graph.times[cand], cand)
+            if best_key is None or key < best_key:
+                best = cand
+                best_key = key
+            break  # lists are time-sorted; the first hit per node suffices
+    return best
+
+
+@dataclass(frozen=True)
+class NextEventPrediction:
+    """One ranked prediction: the pair type and the implied event shape.
+
+    ``source`` / ``target`` are concrete nodes when the type pins them and
+    ``None`` where any (new) node fits.
+    """
+
+    pair_type: PairType
+    probability: float
+    source: int | None
+    target: int | None
+
+
+class PairTransitionModel:
+    """Laplace-smoothed first-order Markov model over pair types."""
+
+    def __init__(self, *, smoothing: float = 1.0) -> None:
+        if smoothing < 0:
+            raise ValueError("smoothing must be nonnegative")
+        self.smoothing = smoothing
+        self._transitions: Counter = Counter()
+        self._marginal: Counter = Counter()
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    def fit(self, graph: TemporalGraph, *, horizon: float) -> "PairTransitionModel":
+        """Learn transition counts from one network."""
+        for first, second in pair_transitions(graph, horizon):
+            self._transitions[(first, second)] += 1
+            self._marginal[first] += 1
+            self._marginal[second] += 1
+        self._trained = True
+        return self
+
+    @property
+    def n_observations(self) -> int:
+        return sum(self._transitions.values())
+
+    def transition_matrix(self) -> np.ndarray:
+        """Row-stochastic 6×6 matrix, rows/cols in R,P,I,O,C,W order."""
+        matrix = np.full((6, 6), self.smoothing, dtype=float)
+        index = {p: i for i, p in enumerate(ALL_PAIR_TYPES)}
+        for (first, second), n in self._transitions.items():
+            matrix[index[first], index[second]] += n
+        rows = matrix.sum(axis=1, keepdims=True)
+        return matrix / rows
+
+    def next_type_distribution(self, current: PairType | None) -> dict[PairType, float]:
+        """``P(next pair type | current)``; marginal when ``current is None``."""
+        if current is None:
+            total = sum(self._marginal.values()) + 6 * self.smoothing
+            return {
+                p: (self._marginal.get(p, 0) + self.smoothing) / total
+                for p in ALL_PAIR_TYPES
+            }
+        index = {p: i for i, p in enumerate(ALL_PAIR_TYPES)}
+        row = self.transition_matrix()[index[current]]
+        return {p: float(row[index[p]]) for p in ALL_PAIR_TYPES}
+
+    def predict_type(self, current: PairType | None) -> PairType:
+        """The most likely next pair type (ties break in R..W order)."""
+        dist = self.next_type_distribution(current)
+        return max(ALL_PAIR_TYPES, key=lambda p: dist[p])
+
+    # ------------------------------------------------------------------
+    def predict_events(
+        self, last_event: Event, current: PairType | None = None, *, top: int = 3
+    ) -> list[NextEventPrediction]:
+        """Ranked concrete next-event shapes after ``last_event``.
+
+        R and P pin both endpoints; O pins the source, I the target, C the
+        source (= last target), W the target (= last source).
+        """
+        dist = self.next_type_distribution(current)
+        shapes = {
+            PairType.REPETITION: (last_event.u, last_event.v),
+            PairType.PING_PONG: (last_event.v, last_event.u),
+            PairType.OUT_BURST: (last_event.u, None),
+            PairType.IN_BURST: (None, last_event.v),
+            PairType.CONVEY: (last_event.v, None),
+            PairType.WEAKLY_CONNECTED: (None, last_event.u),
+        }
+        ranked = sorted(ALL_PAIR_TYPES, key=lambda p: -dist[p])[:top]
+        return [
+            NextEventPrediction(
+                pair_type=p,
+                probability=dist[p],
+                source=shapes[p][0],
+                target=shapes[p][1],
+            )
+            for p in ranked
+        ]
+
+
+def evaluate_pair_prediction(
+    graph: TemporalGraph,
+    *,
+    horizon: float,
+    train_fraction: float = 0.7,
+    smoothing: float = 1.0,
+) -> dict[str, float]:
+    """Temporal train/test evaluation of the transition model.
+
+    The network is split at the ``train_fraction`` quantile of event
+    *indices* (a temporal split — no leakage); the model trains on the
+    prefix and is scored on the suffix's transitions.
+
+    Returns accuracy of the learned model, of the marginal baseline
+    (always predict the globally most common type), and of a uniform
+    random guesser (1/6), plus the test transition count.
+    """
+    if not 0 < train_fraction < 1:
+        raise ValueError("train_fraction must be in (0, 1)")
+    split = int(len(graph.events) * train_fraction)
+    train = TemporalGraph(graph.events[:split])
+    test = TemporalGraph(graph.events[split:])
+
+    model = PairTransitionModel(smoothing=smoothing).fit(train, horizon=horizon)
+    marginal_guess = model.predict_type(None)
+
+    total = 0
+    correct = 0
+    baseline_correct = 0
+    for current, actual in pair_transitions(test, horizon):
+        total += 1
+        if model.predict_type(current) is actual:
+            correct += 1
+        if marginal_guess is actual:
+            baseline_correct += 1
+    if total == 0:
+        return {"accuracy": 0.0, "baseline": 0.0, "random": 1 / 6, "n_test": 0}
+    return {
+        "accuracy": correct / total,
+        "baseline": baseline_correct / total,
+        "random": 1 / 6,
+        "n_test": total,
+    }

@@ -1,0 +1,22 @@
+"""Randomized reference models for temporal networks.
+
+The paper's "Comparison criteria" paragraph (Section 5) reports trying
+several link- and time-shuffling null models from Gauvin et al. and finding
+none that mimics both structural and temporal features.  This package
+implements the standard members of that family so users can repeat that
+investigation.
+"""
+
+from repro.randomization.shuffles import (
+    link_shuffle,
+    permuted_timestamps,
+    shuffle_interevent_times,
+    snapshot_shuffle,
+)
+
+__all__ = [
+    "link_shuffle",
+    "permuted_timestamps",
+    "shuffle_interevent_times",
+    "snapshot_shuffle",
+]

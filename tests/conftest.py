@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite.
+
+Fixtures deliberately use tiny graphs with hand-checkable motif content;
+dataset-backed tests use small scales so the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import TimingConstraints
+from repro.core.events import Event
+from repro.core.temporal_graph import TemporalGraph
+from repro.datasets.registry import get_dataset
+
+
+@pytest.fixture
+def triangle_graph() -> TemporalGraph:
+    """One temporal triangle 0→1, 1→2, 0→2 at t = 10, 20, 25."""
+    return TemporalGraph.from_tuples([(0, 1, 10), (1, 2, 20), (0, 2, 25)])
+
+
+@pytest.fixture
+def star_graph() -> TemporalGraph:
+    """A hub (node 0) contacting four leaves in quick succession."""
+    return TemporalGraph.from_tuples(
+        [(0, 1, 10), (0, 2, 12), (0, 3, 14), (0, 4, 16)]
+    )
+
+
+@pytest.fixture
+def conversation_graph() -> TemporalGraph:
+    """A two-person volley with an interruption from a third node.
+
+    Events: 0→1 (t=10), 1→0 (t=20), 0→2 (t=25), 0→1 (t=30), 1→0 (t=40).
+    """
+    return TemporalGraph.from_tuples(
+        [(0, 1, 10), (1, 0, 20), (0, 2, 25), (0, 1, 30), (1, 0, 40)]
+    )
+
+
+@pytest.fixture
+def repeated_edge_graph() -> TemporalGraph:
+    """Repeated edge with a cross edge — exercises the CDG restriction.
+
+    Events: 0→1 (t=0), 2→3 (t=5), 0→1 (t=10), 2→3 (t=15), 1→2 (t=20).
+    """
+    return TemporalGraph.from_tuples(
+        [(0, 1, 0), (2, 3, 5), (0, 1, 10), (2, 3, 15), (1, 2, 20)]
+    )
+
+
+@pytest.fixture
+def loose() -> TimingConstraints:
+    """Constraints wide enough to admit everything in the tiny fixtures."""
+    return TimingConstraints(delta_c=1000.0, delta_w=1000.0)
+
+
+@pytest.fixture(scope="session")
+def small_sms() -> TemporalGraph:
+    """A small message-network dataset (shared across the session)."""
+    return get_dataset("sms-copenhagen", scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def small_email() -> TemporalGraph:
+    """A small email dataset with same-timestamp carbon copies."""
+    return get_dataset("email", scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def small_bitcoin() -> TemporalGraph:
+    """A small no-repeated-edges ratings dataset."""
+    return get_dataset("bitcoin-otc", scale=0.2)
+
+
+def make_events(*triples: tuple[int, int, float]) -> list[Event]:
+    """Terse Event list construction for inline test data."""
+    return [Event(*t) for t in triples]

@@ -1,0 +1,183 @@
+"""Tests for intermediate-position, timespan, and pair-sequence analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.intermediate import (
+    absolute_skew,
+    edge_mass,
+    position_histogram,
+    skewness,
+)
+from repro.analysis.pairseq import (
+    asymmetry,
+    col_totals,
+    dominant_sequences,
+    log_scaled,
+    pair_sequence_matrix,
+    row_totals,
+    sequence_label,
+)
+from repro.analysis.timespan import (
+    TimespanSummary,
+    timespan_histogram,
+    timespan_summary,
+    uniformity,
+)
+from repro.core.eventpairs import ALL_PAIR_TYPES, PairType
+
+
+class TestPositionHistogram:
+    def test_bins_cover_unit_interval(self):
+        samples = [(1, 0.05), (1, 0.5), (1, 0.95), (1, 1.0)]
+        hist = position_histogram(samples, n_bins=10)
+        assert hist[0] == 1
+        assert hist[5] == 1
+        assert hist[9] == 2  # 0.95 and the boundary 1.0
+
+    def test_position_filter(self):
+        samples = [(1, 0.1), (2, 0.9)]
+        assert position_histogram(samples, n_bins=2, event_position=1).tolist() == [1, 0]
+        assert position_histogram(samples, n_bins=2, event_position=2).tolist() == [0, 1]
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            position_histogram([], n_bins=0)
+
+
+class TestSkew:
+    def test_centered_samples_zero_skew(self):
+        samples = [(1, 0.4), (1, 0.6)]
+        assert skewness(samples) == pytest.approx(0.0)
+
+    def test_early_skew_negative(self):
+        assert skewness([(1, 0.1), (1, 0.2)]) < 0
+
+    def test_late_skew_positive(self):
+        assert skewness([(1, 0.8), (1, 0.9)]) > 0
+
+    def test_empty_is_zero(self):
+        assert skewness([]) == 0.0
+        assert absolute_skew([]) == 0.0
+
+    def test_edge_mass(self):
+        samples = [(1, 0.01), (1, 0.99), (1, 0.5), (1, 0.5)]
+        assert edge_mass(samples, n_bins=10) == pytest.approx(0.5)
+        assert edge_mass([], n_bins=10) == 0.0
+
+
+class TestTimespanHistogram:
+    def test_counts_and_edges(self):
+        edges, counts = timespan_histogram([1, 2, 3, 9], n_bins=2, upper=10)
+        assert len(edges) == 3
+        assert counts.tolist() == [3, 1]
+
+    def test_empty(self):
+        edges, counts = timespan_histogram([], n_bins=4, upper=8)
+        assert counts.sum() == 0
+        assert len(edges) == 5
+
+    def test_clipping_beyond_upper(self):
+        _, counts = timespan_histogram([100], n_bins=2, upper=10)
+        assert counts.tolist() == [0, 1]
+
+
+class TestTimespanSummary:
+    def test_summary_values(self):
+        s = timespan_summary([0.0, 10.0])
+        assert isinstance(s, TimespanSummary)
+        assert s.count == 2
+        assert s.mean == 5.0
+        assert s.median == 5.0
+        assert s.maximum == 10.0
+
+    def test_empty_summary(self):
+        s = timespan_summary([])
+        assert s.count == 0
+        assert s.cv == 0.0
+
+    def test_uniformity_of_uniform_sample(self):
+        spans = np.linspace(0, 100, 1000)[:-1]
+        assert uniformity(spans, upper=100) > 0.95
+
+    def test_uniformity_of_point_mass(self):
+        assert uniformity([50.0] * 100, upper=100, n_bins=10) == pytest.approx(
+            1 - 0.9, abs=1e-9
+        )
+
+    def test_uniformity_empty(self):
+        assert uniformity([], upper=100) == 0.0
+
+
+class TestPairSequenceMatrix:
+    def test_matrix_placement(self):
+        counts = {
+            (PairType.REPETITION, PairType.OUT_BURST): 7,
+            (PairType.CONVEY, PairType.CONVEY): 3,
+        }
+        m = pair_sequence_matrix(counts)
+        assert m[0, 3] == 7  # R row, O column
+        assert m[4, 4] == 3  # C, C
+        assert m.sum() == 10
+
+    def test_ignores_non_length2_and_disjoint(self):
+        counts = {
+            (PairType.REPETITION,): 5,
+            (PairType.REPETITION, None): 2,
+            (PairType.REPETITION, PairType.REPETITION, PairType.CONVEY): 4,
+        }
+        assert pair_sequence_matrix(counts).sum() == 0
+
+    def test_log_scaling_bounds(self):
+        m = pair_sequence_matrix({(PairType.REPETITION, PairType.REPETITION): 100,
+                                  (PairType.CONVEY, PairType.CONVEY): 1})
+        scaled = log_scaled(m)
+        assert scaled.max() == 1.0
+        assert scaled.min() == 0.0
+
+    def test_log_scaling_all_zero(self):
+        scaled = log_scaled(np.zeros((6, 6)))
+        assert scaled.sum() == 0
+
+    def test_log_scaling_single_value(self):
+        m = np.zeros((6, 6))
+        m[0, 0] = 5
+        assert log_scaled(m)[0, 0] == 1.0
+
+
+class TestAsymmetry:
+    def test_directional_preference(self):
+        counts = {
+            (PairType.CONVEY, PairType.OUT_BURST): 9,
+            (PairType.OUT_BURST, PairType.CONVEY): 1,
+        }
+        m = pair_sequence_matrix(counts)
+        assert asymmetry(m, PairType.CONVEY, PairType.OUT_BURST) == pytest.approx(0.8)
+        assert asymmetry(m, PairType.OUT_BURST, PairType.CONVEY) == pytest.approx(-0.8)
+
+    def test_zero_when_absent(self):
+        m = np.zeros((6, 6))
+        assert asymmetry(m, PairType.CONVEY, PairType.IN_BURST) == 0.0
+
+    def test_totals(self):
+        counts = {(PairType.REPETITION, PairType.CONVEY): 4}
+        m = pair_sequence_matrix(counts)
+        assert row_totals(m)[PairType.REPETITION] == 4
+        assert col_totals(m)[PairType.CONVEY] == 4
+        assert sum(row_totals(m).values()) == sum(col_totals(m).values())
+
+
+class TestSequenceHelpers:
+    def test_dominant_sequences(self):
+        counts = {
+            (PairType.REPETITION, PairType.REPETITION): 10,
+            (PairType.CONVEY, PairType.CONVEY): 5,
+            (PairType.REPETITION, None): 99,
+        }
+        top = dominant_sequences(counts, k=2)
+        assert top[0][1] == 10
+        assert all(None not in seq for seq, _count in top)
+
+    def test_sequence_label(self):
+        assert sequence_label((PairType.REPETITION, PairType.CONVEY)) == "R→C"
+        assert sequence_label((PairType.REPETITION, None)) == "R→·"

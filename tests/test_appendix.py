@@ -1,0 +1,63 @@
+"""Tests for the appendix experiments (Figures 7–11)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.appendix import (
+    FIGURE7_DATASETS,
+    FIGURE8_DATASETS,
+    FIGURE9_PANELS,
+    FIGURE10_DATASETS,
+    FIGURE11_DATASETS,
+)
+from repro.datasets.registry import dataset_names
+
+
+class TestDatasetCoverage:
+    def test_figures_7_and_8_cover_all_datasets(self):
+        assert set(FIGURE7_DATASETS) | set(FIGURE8_DATASETS) == set(dataset_names())
+        assert not set(FIGURE7_DATASETS) & set(FIGURE8_DATASETS)
+
+    def test_panel_datasets_are_registered(self):
+        names = set(dataset_names())
+        assert {name for name, _code in FIGURE9_PANELS} <= names
+        assert set(FIGURE10_DATASETS) <= names
+        assert set(FIGURE11_DATASETS) <= names
+
+    def test_figure9_panels_use_valid_codes(self):
+        from repro.core.notation import is_valid_code
+
+        for _name, code in FIGURE9_PANELS:
+            assert is_valid_code(code)
+
+
+class TestRuns:
+    def test_figure7_retitled_and_structured(self):
+        result = run_experiment(
+            "figure7",
+            datasets=["calls-copenhagen"],
+            scale=0.2,
+            n_events_list=(3,),
+        )
+        assert result.experiment_id == "figure7"
+        assert result.text.startswith("Figure 7 (appendix)")
+        assert "calls-copenhagen" in result.data
+
+    def test_figure9_accepts_dataset_override(self):
+        result = run_experiment("figure9", datasets=["sms-copenhagen"], scale=0.2)
+        assert result.experiment_id == "figure9"
+        assert any(key.startswith("sms-copenhagen") for key in result.data)
+
+    def test_figure10_shares_figure5_schema(self):
+        result = run_experiment("figure10", datasets=["sms-copenhagen"], scale=0.3)
+        per_config = result.data["sms-copenhagen"]
+        assert {"only-ΔC", "ΔC/ΔW=0.66", "only-ΔW"} <= set(per_config)
+        for entry in per_config.values():
+            assert "uniformity" in entry
+            assert "histogram" in entry
+
+    def test_figure11_shares_figure6_schema(self):
+        result = run_experiment("figure11", datasets=["sms-copenhagen"], scale=0.3)
+        entry = result.data["sms-copenhagen"]
+        assert len(entry["matrix"]) == 6
+        assert "asymmetries" in entry

@@ -1,0 +1,115 @@
+"""Tests for colored temporal motifs (Kovanen 2013 extension)."""
+
+import pytest
+
+from repro.core.colored import (
+    color_assortativity,
+    colored_code,
+    count_colored_motifs,
+    group_by_structure,
+    homophily_gap,
+    parse_colored_code,
+    shuffle_colors,
+)
+from repro.core.constraints import TimingConstraints
+from repro.core.events import Event
+from repro.core.temporal_graph import TemporalGraph
+
+
+@pytest.fixture
+def colored_graph():
+    graph = TemporalGraph.from_tuples(
+        [(0, 1, 0), (1, 0, 5), (0, 2, 10), (2, 1, 15)]
+    )
+    colors = {0: "F", 1: "F", 2: "M"}
+    return graph, colors
+
+
+class TestColoredCode:
+    def test_orbit_order(self, colored_graph):
+        graph, colors = colored_graph
+        assert colored_code(graph, (0, 1), colors) == "0110|F,F"
+        assert colored_code(graph, (0, 2), colors) == "0102|F,F,M"
+
+    def test_callable_coloring(self, colored_graph):
+        graph, _colors = colored_graph
+        code = colored_code(graph, (0, 1), lambda n: "even" if n % 2 == 0 else "odd")
+        assert code == "0110|even,odd"
+
+    def test_missing_color_raises(self, colored_graph):
+        graph, _ = colored_graph
+        with pytest.raises(KeyError):
+            colored_code(graph, (0, 1), {0: "F"})
+
+    def test_parse_roundtrip(self):
+        code, colors = parse_colored_code("0110|F,M")
+        assert code == "0110"
+        assert colors == ("F", "M")
+
+    def test_parse_rejects_uncolored(self):
+        with pytest.raises(ValueError):
+            parse_colored_code("0110")
+
+
+class TestCounting:
+    def test_counts_split_by_color(self, colored_graph):
+        graph, colors = colored_graph
+        counts = count_colored_motifs(
+            graph, 2, TimingConstraints(delta_c=100, delta_w=100), colors
+        )
+        assert counts["0110|F,F"] == 1          # the ping-pong between the Fs
+        assert sum(counts.values()) >= 3
+
+    def test_structural_totals_match_uncolored(self, colored_graph):
+        from repro.algorithms.counting import count_motifs
+
+        graph, colors = colored_graph
+        constraints = TimingConstraints(delta_c=100, delta_w=100)
+        colored = count_colored_motifs(graph, 2, constraints, colors)
+        plain = count_motifs(graph, 2, constraints)
+        regrouped = group_by_structure(colored)
+        assert {code: sum(c.values()) for code, c in regrouped.items()} == dict(plain)
+
+
+class TestAssortativity:
+    def test_monochrome_fraction(self):
+        counts = {"0110|F,F": 3, "0110|F,M": 1}
+        assert color_assortativity(counts) == 0.75
+
+    def test_code_filter(self):
+        counts = {"0110|F,F": 1, "0101|F,M": 1}
+        assert color_assortativity(counts, code_filter="0110") == 1.0
+        assert color_assortativity(counts, code_filter="0101") == 0.0
+        assert color_assortativity(counts, code_filter="9999") == 0.0
+
+    def test_empty(self):
+        assert color_assortativity({}) == 0.0
+
+
+class TestNullModel:
+    def test_shuffle_preserves_color_multiset(self):
+        coloring = {i: ("F" if i < 7 else "M") for i in range(10)}
+        shuffled = shuffle_colors(coloring, seed=3)
+        assert sorted(shuffled.values()) == sorted(coloring.values())
+        assert set(shuffled) == set(coloring)
+
+    def test_homophily_detected_on_segregated_graph(self):
+        """Two color-segregated cliques chatting internally -> observed
+        monochrome fraction beats the shuffled null."""
+        events = []
+        t = 0.0
+        for base in (0, 10):  # two groups of five nodes
+            for step in range(40):
+                u = base + step % 5
+                v = base + (step + 1 + step // 5) % 5
+                if u != v:
+                    events.append(Event(u, v, t))
+                    t += 10.0
+        graph = TemporalGraph(events)
+        coloring = {n: ("A" if n < 10 else "B") for n in graph.nodes}
+        observed, null_mean = homophily_gap(
+            graph, 2, TimingConstraints(delta_c=100, delta_w=100), coloring,
+            n_null=4, seed=0,
+        )
+        assert observed == 1.0
+        assert observed > null_mean

@@ -1,0 +1,102 @@
+"""Tests for maximal temporal components (Kovanen's E_max substrate)."""
+
+import pytest
+
+from repro.algorithms.components import (
+    component_of,
+    component_size_distribution,
+    component_subgraphs,
+    largest_component_fraction,
+    temporal_components,
+)
+from repro.core.temporal_graph import TemporalGraph
+
+
+@pytest.fixture
+def bursty_graph() -> TemporalGraph:
+    """Two bursts separated by a long quiet period."""
+    return TemporalGraph.from_tuples(
+        [
+            (0, 1, 0), (1, 2, 5), (0, 2, 8),          # burst A
+            (0, 1, 1000), (1, 3, 1004), (3, 0, 1009),  # burst B
+        ]
+    )
+
+
+class TestPartition:
+    def test_partition_covers_all_events(self, bursty_graph):
+        comps = temporal_components(bursty_graph, delta_c=20)
+        flat = sorted(i for comp in comps for i in comp)
+        assert flat == list(range(len(bursty_graph)))
+
+    def test_bursts_separate(self, bursty_graph):
+        comps = temporal_components(bursty_graph, delta_c=20)
+        assert [len(c) for c in comps] == [3, 3]
+
+    def test_large_delta_c_merges(self, bursty_graph):
+        comps = temporal_components(bursty_graph, delta_c=2000)
+        assert len(comps) == 1
+
+    def test_adjacency_needs_shared_node(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0), (2, 3, 1)])
+        comps = temporal_components(g, delta_c=100)
+        assert len(comps) == 2
+
+    def test_adjacency_is_per_node_consecutive(self):
+        """Events of one node far apart in its own timeline do not join,
+        even if globally close to other events."""
+        g = TemporalGraph.from_tuples([(0, 1, 0), (0, 2, 50), (0, 1, 100)])
+        comps = temporal_components(g, delta_c=49)
+        assert len(comps) == 3
+        comps = temporal_components(g, delta_c=50)
+        assert len(comps) == 1
+
+    def test_rejects_bad_delta(self, bursty_graph):
+        with pytest.raises(ValueError):
+            temporal_components(bursty_graph, delta_c=0)
+
+    def test_empty_graph(self):
+        assert temporal_components(TemporalGraph([]), delta_c=10) == []
+
+
+class TestMonotonicity:
+    def test_growing_delta_c_only_merges(self, small_sms):
+        """Components at a larger ΔC are unions of smaller-ΔC components."""
+        g = small_sms.head(400)
+        fine = component_of(g, delta_c=60)
+        coarse = component_of(g, delta_c=600)
+        # map: fine component id -> set of coarse ids it lands in
+        landing: dict[int, set[int]] = {}
+        for idx in range(len(g)):
+            landing.setdefault(fine[idx], set()).add(coarse[idx])
+        assert all(len(targets) == 1 for targets in landing.values())
+
+
+class TestSummaries:
+    def test_component_of_matches_partition(self, bursty_graph):
+        mapping = component_of(bursty_graph, delta_c=20)
+        comps = temporal_components(bursty_graph, delta_c=20)
+        for cid, comp in enumerate(comps):
+            assert all(mapping[i] == cid for i in comp)
+
+    def test_subgraphs(self, bursty_graph):
+        subs = list(component_subgraphs(bursty_graph, delta_c=20))
+        assert [len(s) for s in subs] == [3, 3]
+        subs_filtered = list(
+            component_subgraphs(bursty_graph, delta_c=20, min_events=4)
+        )
+        assert subs_filtered == []
+
+    def test_size_distribution(self, bursty_graph):
+        assert component_size_distribution(bursty_graph, delta_c=20) == {3: 2}
+
+    def test_largest_fraction(self, bursty_graph):
+        assert largest_component_fraction(bursty_graph, delta_c=20) == 0.5
+        assert largest_component_fraction(bursty_graph, delta_c=2000) == 1.0
+        assert largest_component_fraction(TemporalGraph([]), delta_c=10) == 0.0
+
+    def test_percolation_direction_on_dataset(self, small_sms):
+        g = small_sms.head(500)
+        low = largest_component_fraction(g, delta_c=10)
+        high = largest_component_fraction(g, delta_c=100_000)
+        assert low <= high

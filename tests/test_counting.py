@@ -1,0 +1,159 @@
+"""Tests for the counting APIs and the one-pass census."""
+
+from collections import Counter
+
+from repro.algorithms.counting import (
+    count_event_pairs,
+    count_motifs,
+    merge_counters,
+    run_census,
+    total_instances,
+)
+from repro.core.constraints import TimingConstraints
+from repro.core.eventpairs import PairType
+from repro.core.temporal_graph import TemporalGraph
+
+
+class TestCountMotifs:
+    def test_triangle(self, triangle_graph, loose):
+        counts = count_motifs(triangle_graph, 3, loose)
+        assert counts == Counter({"011202": 1})
+
+    def test_node_counts_filter(self, conversation_graph, loose):
+        all_counts = count_motifs(conversation_graph, 2, loose)
+        two_node = count_motifs(conversation_graph, 2, loose, node_counts={2})
+        assert sum(two_node.values()) < sum(all_counts.values())
+        assert all(len(set(code)) == 2 for code in two_node)
+
+    def test_predicate_reduces_counts(self, conversation_graph, loose):
+        vanilla = count_motifs(conversation_graph, 3, loose, max_nodes=3)
+        restricted = count_motifs(
+            conversation_graph, 3, loose, max_nodes=3,
+            predicate=lambda g, i: i[0] == 0,
+        )
+        assert sum(restricted.values()) <= sum(vanilla.values())
+
+    def test_repetition_code(self):
+        g = TemporalGraph.from_tuples([(5, 9, 0), (5, 9, 3), (5, 9, 7)])
+        counts = count_motifs(g, 3, TimingConstraints.only_c(10))
+        assert counts == Counter({"010101": 1})
+
+
+class TestCountEventPairs:
+    def test_triangle_pairs(self, triangle_graph, loose):
+        pairs = count_event_pairs(triangle_graph, 3, loose)
+        assert pairs == Counter({PairType.CONVEY: 1, PairType.IN_BURST: 1})
+
+    def test_pair_total_is_instances_times_m_minus_1(self, small_sms):
+        constraints = TimingConstraints(delta_c=300, delta_w=600)
+        pairs = count_event_pairs(small_sms, 3, constraints, max_nodes=3)
+        instances = total_instances(small_sms, 3, constraints, max_nodes=3)
+        assert sum(pairs.values()) == 2 * instances
+
+
+class TestCensus:
+    def test_census_matches_individual_counters(self, small_sms):
+        constraints = TimingConstraints(delta_c=300, delta_w=600)
+        census = run_census(small_sms, 3, constraints, max_nodes=3)
+        assert census.code_counts == count_motifs(
+            small_sms, 3, constraints, max_nodes=3
+        )
+        assert census.pair_counts == count_event_pairs(
+            small_sms, 3, constraints, max_nodes=3
+        )
+        assert census.total == sum(census.code_counts.values())
+
+    def test_pair_sequences_sum_to_total(self, small_sms):
+        constraints = TimingConstraints(delta_c=300, delta_w=600)
+        census = run_census(small_sms, 3, constraints, max_nodes=3)
+        assert sum(census.pair_sequence_counts.values()) == census.total
+
+    def test_sequences_consistent_with_codes(self, triangle_graph, loose):
+        census = run_census(triangle_graph, 3, loose)
+        assert census.pair_sequence_counts == Counter(
+            {(PairType.CONVEY, PairType.IN_BURST): 1}
+        )
+
+    def test_timespan_collection(self, triangle_graph, loose):
+        census = run_census(
+            triangle_graph, 3, loose, collect_timespans=True
+        )
+        assert census.timespans["011202"] == [15]
+
+    def test_timespan_code_filter(self, conversation_graph, loose):
+        census = run_census(
+            conversation_graph, 3, loose, max_nodes=3,
+            collect_timespans=True, timespan_codes=["010102"],
+        )
+        assert set(census.timespans) <= {"010102"}
+
+    def test_position_collection(self, triangle_graph, loose):
+        census = run_census(
+            triangle_graph, 3, loose, collect_positions=True
+        )
+        positions = census.intermediate_positions["011202"]
+        # second event at t=20 of window [10, 25] -> (20-10)/15
+        assert positions == [(1, (20 - 10) / 15)]
+
+    def test_sample_cap_respected(self, small_sms):
+        constraints = TimingConstraints(delta_c=300, delta_w=600)
+        census = run_census(
+            small_sms, 3, constraints, max_nodes=3,
+            collect_timespans=True, sample_cap=5,
+        )
+        assert all(len(v) <= 5 for v in census.timespans.values())
+
+    def test_codes_with_nodes(self, small_sms):
+        constraints = TimingConstraints(delta_c=300, delta_w=600)
+        census = run_census(small_sms, 3, constraints, max_nodes=3)
+        three = census.codes_with_nodes(3)
+        two = census.codes_with_nodes(2)
+        assert sum(three.values()) + sum(two.values()) == census.total
+
+    def test_proportions_sum_to_one(self, small_sms):
+        constraints = TimingConstraints(delta_c=300, delta_w=600)
+        census = run_census(small_sms, 3, constraints, max_nodes=3)
+        props = census.proportions()
+        assert abs(sum(props.values()) - 1.0) < 1e-9
+
+    def test_empty_census(self, loose):
+        census = run_census(TemporalGraph([]), 3, loose)
+        assert census.total == 0
+        assert census.proportions() == {}
+        assert census.pair_group_counts() == {
+            "RPIO": 0, "CW": 0, "mixed": 0, "disjoint": 0,
+        }
+
+
+class TestPairGroups:
+    def test_pure_rpio_motif(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0), (0, 1, 3), (0, 2, 6)])
+        census = run_census(g, 3, TimingConstraints.only_c(10))
+        assert census.pair_group_counts()["RPIO"] == 1
+
+    def test_pure_cw_motif(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0), (1, 2, 3), (2, 0, 6)])
+        census = run_census(g, 3, TimingConstraints.only_c(10))
+        assert census.pair_group_counts()["CW"] == 1
+
+    def test_mixed_motif(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0), (0, 1, 3), (1, 2, 6)])
+        census = run_census(g, 3, TimingConstraints.only_c(10))
+        groups = census.pair_group_counts()
+        assert groups["mixed"] == 1
+        assert groups["RPIO"] == 0
+        assert groups["CW"] == 0
+
+    def test_groups_sum_to_total(self, small_sms):
+        constraints = TimingConstraints(delta_c=300, delta_w=600)
+        census = run_census(small_sms, 3, constraints, max_nodes=3)
+        assert sum(census.pair_group_counts().values()) == census.total
+
+
+class TestHelpers:
+    def test_total_instances(self, triangle_graph, loose):
+        assert total_instances(triangle_graph, 3, loose) == 1
+
+    def test_merge_counters(self):
+        merged = merge_counters([Counter({"a": 1}), Counter({"a": 2, "b": 3})])
+        assert merged == Counter({"a": 3, "b": 3})

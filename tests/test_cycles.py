@@ -1,0 +1,94 @@
+"""Tests for temporal cycle enumeration."""
+
+import pytest
+
+from repro.algorithms.cycles import (
+    count_cycles_by_length,
+    cycle_nodes,
+    enumerate_temporal_cycles,
+)
+from repro.core.temporal_graph import TemporalGraph
+
+
+@pytest.fixture
+def cycle_graph() -> TemporalGraph:
+    """A 3-cycle, a 2-cycle, and noise."""
+    return TemporalGraph.from_tuples(
+        [
+            (0, 1, 0),   # cycle A starts
+            (1, 2, 5),
+            (2, 0, 9),   # cycle A closes: 0→1→2→0
+            (3, 4, 10),  # cycle B starts
+            (4, 3, 12),  # cycle B closes: 3→4→3
+            (0, 3, 20),  # noise
+        ]
+    )
+
+
+class TestEnumeration:
+    def test_finds_both_cycles(self, cycle_graph):
+        cycles = list(enumerate_temporal_cycles(cycle_graph, delta_w=50))
+        assert set(cycles) == {(0, 1, 2), (3, 4)}
+
+    def test_min_length_filter(self, cycle_graph):
+        cycles = list(
+            enumerate_temporal_cycles(cycle_graph, delta_w=50, min_length=3)
+        )
+        assert cycles == [(0, 1, 2)]
+
+    def test_max_length_filter(self, cycle_graph):
+        cycles = list(
+            enumerate_temporal_cycles(cycle_graph, delta_w=50, max_length=2)
+        )
+        assert cycles == [(3, 4)]
+
+    def test_window_prunes(self, cycle_graph):
+        cycles = list(enumerate_temporal_cycles(cycle_graph, delta_w=5))
+        assert cycles == [(3, 4)]  # the 3-cycle spans 9 > 5
+
+    def test_strictly_increasing_times_required(self):
+        g = TemporalGraph.from_tuples([(0, 1, 5), (1, 0, 5)])
+        assert list(enumerate_temporal_cycles(g, delta_w=50)) == []
+
+    def test_simple_cycles_only(self):
+        """A walk revisiting an intermediate node is not a simple cycle."""
+        g = TemporalGraph.from_tuples(
+            [(0, 1, 0), (1, 2, 1), (2, 1, 2), (1, 0, 3)]
+        )
+        cycles = set(enumerate_temporal_cycles(g, delta_w=50, max_length=4))
+        # 0→1→0 via events (0, 3); 1→2→1 via events (1, 2); but not the
+        # length-4 walk 0→1→2→1→0 (revisits node 1).
+        assert cycles == {(0, 3), (1, 2)}
+
+    def test_max_cycles_cap(self, cycle_graph):
+        cycles = list(
+            enumerate_temporal_cycles(cycle_graph, delta_w=50, max_cycles=1)
+        )
+        assert len(cycles) == 1
+
+    def test_rejects_bad_parameters(self, cycle_graph):
+        with pytest.raises(ValueError):
+            list(enumerate_temporal_cycles(cycle_graph, delta_w=0))
+        with pytest.raises(ValueError):
+            list(enumerate_temporal_cycles(cycle_graph, delta_w=5, min_length=1))
+
+
+class TestHelpers:
+    def test_count_by_length(self, cycle_graph):
+        counts = count_cycles_by_length(cycle_graph, delta_w=50)
+        assert counts == {3: 1, 2: 1}
+
+    def test_cycle_nodes(self, cycle_graph):
+        assert cycle_nodes(cycle_graph, (0, 1, 2)) == [0, 1, 2]
+
+    def test_money_loop_in_transaction_burst(self):
+        """The fraud scenario: money leaves and returns within a window."""
+        g = TemporalGraph.from_tuples(
+            [(10, 20, 0), (20, 30, 100), (30, 40, 200), (40, 10, 300),
+             (10, 50, 5000)]
+        )
+        cycles = list(
+            enumerate_temporal_cycles(g, delta_w=400, min_length=4, max_length=4)
+        )
+        assert len(cycles) == 1
+        assert cycle_nodes(g, cycles[0]) == [10, 20, 30, 40]

@@ -1,0 +1,96 @@
+"""Tests for durative event I/O and the Hulovatyy duration pathway."""
+
+import pytest
+
+from repro.core.events import DurativeEvent
+from repro.datasets.durative import (
+    attach_call_durations,
+    read_durative_event_list,
+    split_durative,
+    write_durative_event_list,
+)
+from repro.models import HulovatyyModel
+
+
+class TestSplitDurative:
+    def test_graph_and_durations_align(self):
+        events = [
+            DurativeEvent(1, 2, 10.0, 30.0),
+            DurativeEvent(0, 1, 0.0, 5.0),
+        ]
+        graph, durations = split_durative(events)
+        assert [ev.t for ev in graph.events] == [0.0, 10.0]
+        assert durations == {0: 5.0, 1: 30.0}
+
+    def test_feeds_hulovatyy_model(self):
+        # gap start-to-start is 10 > ΔC=5; end-to-start is 10-6=4 <= 5.
+        events = [
+            DurativeEvent(0, 1, 0.0, 6.0),
+            DurativeEvent(1, 2, 10.0, 1.0),
+        ]
+        graph, durations = split_durative(events)
+        assert not HulovatyyModel(5).is_valid_instance(graph, (0, 1))
+        model = HulovatyyModel(5, durations=durations)
+        assert model.is_valid_instance(graph, (0, 1))
+
+    def test_empty(self):
+        graph, durations = split_durative([])
+        assert len(graph) == 0
+        assert durations == {}
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        events = [
+            DurativeEvent(0, 1, 0.0, 5.0),
+            DurativeEvent(1, 2, 10.0, 2.5),
+        ]
+        path = tmp_path / "calls.txt"
+        write_durative_event_list(events, path)
+        back = read_durative_event_list(path)
+        assert back == events
+
+    def test_integral_formatting(self, tmp_path):
+        path = tmp_path / "calls.txt"
+        write_durative_event_list([DurativeEvent(0, 1, 5.0, 30.0)], path)
+        body = [l for l in path.read_text().splitlines() if not l.startswith("#")]
+        assert body == ["0 1 5 30"]
+
+    def test_malformed_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 5\n")
+        with pytest.raises(ValueError, match=":1"):
+            read_durative_event_list(path)
+
+    def test_unparsable_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b c d\n")
+        with pytest.raises(ValueError, match=":1"):
+            read_durative_event_list(path)
+
+
+class TestAttachDurations:
+    def test_every_event_gets_a_duration(self, small_sms):
+        g = small_sms.head(200)
+        durative = attach_call_durations(g, seed=0)
+        assert len(durative) == len(g)
+        assert all(ev.duration >= 0 for ev in durative)
+
+    def test_calls_never_overlap_own_redial(self, small_sms):
+        g = small_sms.head(300)
+        durative = attach_call_durations(g, mean_duration=1e6, seed=1)
+        by_edge: dict[tuple[int, int], list[DurativeEvent]] = {}
+        for ev in durative:
+            by_edge.setdefault(ev.edge, []).append(ev)
+        for chain in by_edge.values():
+            chain.sort(key=lambda e: e.t)
+            for a, b in zip(chain, chain[1:]):
+                assert a.end <= b.t + 1e-9
+
+    def test_deterministic_with_seed(self, small_sms):
+        g = small_sms.head(50)
+        assert attach_call_durations(g, seed=3) == attach_call_durations(g, seed=3)
+
+    def test_rejects_bad_mean(self, small_sms):
+        with pytest.raises(ValueError):
+            attach_call_durations(small_sms, mean_duration=0)

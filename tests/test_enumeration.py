@@ -1,0 +1,184 @@
+"""Tests for the enumeration engine, including a brute-force oracle."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.enumeration import (
+    enumerate_instances,
+    instance_code,
+    instance_nodes,
+    instance_times,
+    instance_timespan,
+    is_instance,
+)
+from repro.core.constraints import TimingConstraints
+from repro.core.temporal_graph import TemporalGraph
+
+
+def brute_force(graph, n_events, constraints, max_nodes=None):
+    """Oracle: test every index combination against the instance definition."""
+    out = set()
+    for combo in itertools.combinations(range(len(graph)), n_events):
+        if is_instance(graph, combo, constraints, max_nodes=max_nodes):
+            out.add(combo)
+    return out
+
+
+class TestBasics:
+    def test_triangle_single_instance(self, triangle_graph, loose):
+        found = list(enumerate_instances(triangle_graph, 3, loose))
+        assert found == [(0, 1, 2)]
+        assert instance_code(triangle_graph, found[0]) == "011202"
+
+    def test_single_event_instances(self, triangle_graph, loose):
+        assert list(enumerate_instances(triangle_graph, 1, loose)) == [
+            (0,), (1,), (2,),
+        ]
+
+    def test_two_event_instances(self, triangle_graph, loose):
+        found = set(enumerate_instances(triangle_graph, 2, loose))
+        assert found == {(0, 1), (0, 2), (1, 2)}
+
+    def test_rejects_nonpositive_n_events(self, triangle_graph, loose):
+        with pytest.raises(ValueError):
+            list(enumerate_instances(triangle_graph, 0, loose))
+
+    def test_empty_graph(self, loose):
+        g = TemporalGraph([])
+        assert list(enumerate_instances(g, 3, loose)) == []
+
+
+class TestTimingPruning:
+    def test_delta_c_prunes_wide_gaps(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0), (1, 2, 100), (0, 2, 110)])
+        tight = TimingConstraints.only_c(50)
+        assert list(enumerate_instances(g, 3, tight)) == []
+        wide = TimingConstraints.only_c(100)
+        assert list(enumerate_instances(g, 3, wide)) == [(0, 1, 2)]
+
+    def test_delta_w_prunes_long_spans(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0), (1, 2, 6), (0, 2, 12)])
+        assert list(enumerate_instances(g, 3, TimingConstraints.only_w(10))) == []
+        assert list(enumerate_instances(g, 3, TimingConstraints.only_w(12))) == [
+            (0, 1, 2)
+        ]
+
+    def test_section_45_example(self):
+        """Timestamps 1, 9, 10: valid under ΔW=10, invalid under ΔC=5."""
+        g = TemporalGraph.from_tuples([(0, 1, 1), (1, 2, 9), (2, 0, 10)])
+        assert list(enumerate_instances(g, 3, TimingConstraints.only_w(10)))
+        assert not list(enumerate_instances(g, 3, TimingConstraints.only_c(5)))
+
+
+class TestOrderingAndGrowth:
+    def test_same_timestamp_events_never_share_a_motif(self):
+        g = TemporalGraph.from_tuples([(0, 1, 5), (1, 2, 5)])
+        loose = TimingConstraints(delta_c=100, delta_w=100)
+        assert list(enumerate_instances(g, 2, loose)) == []
+
+    def test_disconnected_events_never_share_a_motif(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0), (2, 3, 5)])
+        loose = TimingConstraints(delta_c=100, delta_w=100)
+        assert list(enumerate_instances(g, 2, loose)) == []
+
+    def test_growth_may_attach_to_any_seen_node(self):
+        # third event shares only the *first* event's node.
+        g = TemporalGraph.from_tuples([(0, 1, 0), (1, 2, 5), (0, 3, 10)])
+        loose = TimingConstraints(delta_c=100, delta_w=100)
+        assert (0, 1, 2) in set(enumerate_instances(g, 3, loose))
+
+    def test_max_nodes_prunes(self, star_graph, loose):
+        all_three = list(enumerate_instances(star_graph, 3, loose))
+        limited = list(enumerate_instances(star_graph, 3, loose, max_nodes=3))
+        assert len(all_three) == 4  # C(4,2)... star: any 3 of 4 events in order
+        assert limited == []        # every 3-event star subset needs 4 nodes
+
+    def test_max_instances_caps_output(self, star_graph, loose):
+        capped = list(enumerate_instances(star_graph, 2, loose, max_instances=2))
+        assert len(capped) == 2
+
+    def test_roots_restriction(self, star_graph, loose):
+        rooted = set(enumerate_instances(star_graph, 2, loose, roots=[0]))
+        assert rooted == {(0, 1), (0, 2), (0, 3)}
+
+
+class TestPredicate:
+    def test_predicate_filters(self, conversation_graph, loose):
+        everything = list(enumerate_instances(conversation_graph, 2, loose))
+        nothing = list(
+            enumerate_instances(
+                conversation_graph, 2, loose, predicate=lambda g, inst: False
+            )
+        )
+        assert everything and not nothing
+
+    def test_predicate_sees_full_instance(self, triangle_graph, loose):
+        seen = []
+        list(
+            enumerate_instances(
+                triangle_graph, 3, loose,
+                predicate=lambda g, inst: seen.append(inst) or True,
+            )
+        )
+        assert seen == [(0, 1, 2)]
+
+
+class TestAgainstBruteForce:
+    """The engine must agree exactly with the definitional oracle."""
+
+    @pytest.mark.parametrize("n_events", [2, 3, 4])
+    def test_small_dense_graph(self, n_events):
+        g = TemporalGraph.from_tuples(
+            [
+                (0, 1, 0), (1, 2, 3), (2, 0, 5), (0, 1, 8), (1, 0, 9),
+                (2, 3, 11), (3, 0, 14), (0, 2, 15), (1, 3, 17), (3, 1, 20),
+            ]
+        )
+        constraints = TimingConstraints(delta_c=6, delta_w=15)
+        fast = set(enumerate_instances(g, n_events, constraints))
+        assert fast == brute_force(g, n_events, constraints)
+
+    @pytest.mark.parametrize("max_nodes", [2, 3, 4])
+    def test_node_caps(self, max_nodes):
+        g = TemporalGraph.from_tuples(
+            [(0, 1, 0), (1, 2, 2), (0, 1, 4), (2, 3, 6), (1, 0, 8), (3, 1, 10)]
+        )
+        constraints = TimingConstraints(delta_c=5, delta_w=12)
+        fast = set(enumerate_instances(g, 3, constraints, max_nodes=max_nodes))
+        assert fast == brute_force(g, 3, constraints, max_nodes=max_nodes)
+
+    def test_only_c_and_only_w_configs(self):
+        g = TemporalGraph.from_tuples(
+            [(0, 1, 0), (1, 2, 4), (2, 1, 7), (1, 0, 9), (0, 2, 13)]
+        )
+        for constraints in (
+            TimingConstraints.only_c(5),
+            TimingConstraints.only_w(10),
+            TimingConstraints(delta_c=4, delta_w=9),
+        ):
+            fast = set(enumerate_instances(g, 3, constraints))
+            assert fast == brute_force(g, 3, constraints), constraints
+
+    def test_dataset_sample(self, small_sms):
+        g = small_sms.head(150)
+        constraints = TimingConstraints(delta_c=600, delta_w=1200)
+        fast = set(enumerate_instances(g, 3, constraints, max_nodes=3))
+        assert fast == brute_force(g, 3, constraints, max_nodes=3)
+
+
+class TestInstanceHelpers:
+    def test_instance_times(self, triangle_graph):
+        assert instance_times(triangle_graph, (0, 2)) == (10, 25)
+
+    def test_instance_nodes(self, triangle_graph):
+        assert instance_nodes(triangle_graph, (0, 1)) == {0, 1, 2}
+
+    def test_instance_timespan(self, triangle_graph):
+        assert instance_timespan(triangle_graph, (0, 1, 2)) == 15
+
+    def test_is_instance_rejects_unordered(self, triangle_graph, loose):
+        assert not is_instance(triangle_graph, (2, 0), loose)
+
+    def test_is_instance_rejects_empty(self, triangle_graph, loose):
+        assert not is_instance(triangle_graph, (), loose)

@@ -1,0 +1,144 @@
+"""Unit tests for the event-pair lens."""
+
+import itertools
+
+import pytest
+
+from repro.core.eventpairs import (
+    ALL_PAIR_TYPES,
+    CW_GROUP,
+    RPIO_GROUP,
+    PairType,
+    classify_pair,
+    code_of_pair_sequence,
+    is_exactly_representable,
+    pair_sequence_of_code,
+    pair_sequence_of_events,
+)
+
+
+class TestClassifyPair:
+    def test_repetition(self):
+        assert classify_pair((0, 1), (0, 1)) is PairType.REPETITION
+
+    def test_ping_pong(self):
+        assert classify_pair((0, 1), (1, 0)) is PairType.PING_PONG
+
+    def test_in_burst(self):
+        assert classify_pair((0, 1), (2, 1)) is PairType.IN_BURST
+
+    def test_out_burst(self):
+        assert classify_pair((0, 1), (0, 2)) is PairType.OUT_BURST
+
+    def test_convey(self):
+        assert classify_pair((0, 1), (1, 2)) is PairType.CONVEY
+
+    def test_weakly_connected(self):
+        assert classify_pair((0, 1), (2, 0)) is PairType.WEAKLY_CONNECTED
+
+    def test_disjoint_returns_none(self):
+        assert classify_pair((0, 1), (2, 3)) is None
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            classify_pair((0, 0), (0, 1))
+        with pytest.raises(ValueError):
+            classify_pair((0, 1), (2, 2))
+
+    def test_order_matters(self):
+        # convey one way, weakly-connected the other.
+        assert classify_pair((0, 1), (1, 2)) is PairType.CONVEY
+        assert classify_pair((1, 2), (0, 1)) is PairType.WEAKLY_CONNECTED
+
+    def test_exhaustive_on_three_nodes(self):
+        """Every ordered pair of loop-free events on ≤3 nodes classifies."""
+        nodes = (0, 1, 2)
+        edges = [(a, b) for a in nodes for b in nodes if a != b]
+        for first, second in itertools.product(edges, repeat=2):
+            assert classify_pair(first, second) in ALL_PAIR_TYPES
+
+
+class TestBijection:
+    """Pair sequences ↔ ≤3-node motif codes: the paper's 6^(m−1) facts."""
+
+    def test_36_three_event_codes(self):
+        codes = {
+            code_of_pair_sequence(seq)
+            for seq in itertools.product(ALL_PAIR_TYPES, repeat=2)
+        }
+        assert len(codes) == 36
+
+    def test_216_four_event_codes(self):
+        codes = {
+            code_of_pair_sequence(seq)
+            for seq in itertools.product(ALL_PAIR_TYPES, repeat=3)
+        }
+        assert len(codes) == 216
+
+    def test_roundtrip_three_event(self):
+        for seq in itertools.product(ALL_PAIR_TYPES, repeat=2):
+            code = code_of_pair_sequence(seq)
+            assert pair_sequence_of_code(code) == seq
+
+    def test_roundtrip_four_event(self):
+        for seq in itertools.product(ALL_PAIR_TYPES, repeat=3):
+            code = code_of_pair_sequence(seq)
+            assert pair_sequence_of_code(code) == seq
+
+    def test_codes_stay_on_three_nodes(self):
+        for seq in itertools.product(ALL_PAIR_TYPES, repeat=3):
+            code = code_of_pair_sequence(seq)
+            assert len(set(code)) <= 3
+
+    def test_paper_figure2_examples(self):
+        # repetition then out-burst -> 010102 (bottom-left of Figure 2).
+        assert code_of_pair_sequence(
+            [PairType.REPETITION, PairType.OUT_BURST]
+        ) == "010102"
+        # repetition, convey, ping-pong -> 01011221.
+        assert code_of_pair_sequence(
+            [PairType.REPETITION, PairType.CONVEY, PairType.PING_PONG]
+        ) == "01011221"
+
+    def test_empty_sequence_is_single_event(self):
+        assert code_of_pair_sequence([]) == "01"
+
+
+class TestPairSequences:
+    def test_sequence_of_code(self):
+        assert pair_sequence_of_code("010102") == (
+            PairType.REPETITION,
+            PairType.OUT_BURST,
+        )
+
+    def test_sequence_with_disjoint_pair(self):
+        # 4-node motif 01021323? build one with a disjoint consecutive pair:
+        # (0,1), (2,3) share no node — not single-component, so craft via
+        # 01 02 13: events (0,1),(0,2),(1,3): pairs O then disjoint? (0,2),(1,3)
+        seq = pair_sequence_of_code("010213")
+        assert seq[0] is PairType.OUT_BURST
+        assert seq[1] is None
+
+    def test_sequence_of_events(self):
+        events = [(0, 1, 1.0), (1, 0, 2.0), (1, 0, 3.0)]
+        assert pair_sequence_of_events(events) == (
+            PairType.PING_PONG,
+            PairType.REPETITION,
+        )
+
+    def test_exact_representability(self):
+        assert is_exactly_representable("010102")
+        assert not is_exactly_representable("01122334")
+
+
+class TestGroups:
+    def test_groups_partition_alphabet(self):
+        assert RPIO_GROUP | CW_GROUP == set(ALL_PAIR_TYPES)
+        assert not RPIO_GROUP & CW_GROUP
+
+    def test_pair_type_letters(self):
+        assert [p.value for p in ALL_PAIR_TYPES] == ["R", "P", "I", "O", "C", "W"]
+
+    def test_descriptions_present(self):
+        for ptype in ALL_PAIR_TYPES:
+            assert ptype.description

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs to completion and tells its story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> substrings its output must contain
+EXPECTED_OUTPUT = {
+    "quickstart.py": ["found", "Kovanen et al. [11]", "valid"],
+    "fraud_detection.py": ["directed squares", "money loop", "Song (non-induced):      True"],
+    "messaging_analysis.py": ["ΔC/ΔW sweep", "consecutive-events restriction", "dominant sequences"],
+    "model_comparison.py": ["3n3e instances", "top-5 motifs", "100.0%"],
+    "event_prediction.py": ["transition model", "predicted next events"],
+    "node_roles.py": ["strong answerers", "strong askers"],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_OUTPUT))
+def test_example_runs(name):
+    stdout = run_example(name)
+    for fragment in EXPECTED_OUTPUT[name]:
+        assert fragment in stdout, f"{name}: missing {fragment!r}"
+
+
+def test_all_examples_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT)

@@ -1,0 +1,114 @@
+"""Tests for the experiment-harness helpers and 4-event census corners."""
+
+import math
+
+import pytest
+
+from repro.algorithms.counting import run_census
+from repro.core.constraints import TimingConstraints
+from repro.core.temporal_graph import TemporalGraph
+from repro.experiments.base import (
+    DELTA_C_INDUCEDNESS,
+    DELTA_W_TIMING,
+    RATIOS_3E,
+    RATIOS_4E,
+    fmt_count,
+    fmt_signed,
+    load_graphs,
+    ratio_label,
+)
+
+
+class TestFormatting:
+    def test_fmt_count_bands(self):
+        assert fmt_count(999) == "999"
+        assert fmt_count(1_500) == "1.50K"
+        assert fmt_count(35_600) == "35.6K"
+        assert fmt_count(6_350_000) == "6.35M"
+
+    def test_fmt_signed(self):
+        assert fmt_signed(1.234) == "+1.23"
+        assert fmt_signed(-0.5) == "-0.50"
+        assert fmt_signed(0.0) == "+0.00"
+        assert fmt_signed(2.5, digits=1) == "+2.5"
+
+
+class TestRatioLabels:
+    def test_three_event_labels(self):
+        assert ratio_label(1.0, 3) == "only-ΔW"
+        assert ratio_label(0.5, 3) == "only-ΔC"
+        assert ratio_label(0.66, 3) == "ΔC/ΔW=0.66"
+
+    def test_four_event_labels(self):
+        assert ratio_label(0.33, 4) == "only-ΔC"
+        assert ratio_label(0.5, 4) == "ΔC/ΔW=0.5"
+        assert ratio_label(1.0, 4) == "only-ΔW"
+
+    def test_labels_consistent_with_regimes(self):
+        """The experiment labels agree with TimingConstraints.regime."""
+        from repro.core.constraints import ConstraintRegime
+
+        for n_events, ratios in ((3, RATIOS_3E), (4, RATIOS_4E)):
+            for ratio in ratios:
+                constraints = TimingConstraints.from_ratio(3000, ratio)
+                regime = constraints.regime(n_events)
+                label = ratio_label(ratio, n_events)
+                if label == "only-ΔW":
+                    assert regime is ConstraintRegime.ONLY_DELTA_W
+                elif label == "only-ΔC":
+                    assert regime is ConstraintRegime.ONLY_DELTA_C
+                else:
+                    assert regime is ConstraintRegime.BOTH
+
+
+class TestLoadGraphs:
+    def test_explicit_names(self):
+        graphs = load_graphs(["sms-copenhagen"], scale=0.05)
+        assert [g.name for g in graphs] == ["sms-copenhagen"]
+
+    def test_default_fallback(self):
+        graphs = load_graphs(None, scale=0.05, default=["bitcoin-otc"])
+        assert [g.name for g in graphs] == ["bitcoin-otc"]
+
+    def test_paper_parameters(self):
+        assert DELTA_C_INDUCEDNESS == 1500.0
+        assert DELTA_W_TIMING == 3000.0
+
+
+class TestFourEventCensus:
+    def test_disjoint_pairs_only_in_four_node_motifs(self):
+        """A 4-node motif can have consecutive events sharing no node."""
+        g = TemporalGraph.from_tuples(
+            [(0, 1, 0), (0, 2, 5), (1, 3, 9), (2, 3, 12)]
+        )
+        census = run_census(
+            g, 4, TimingConstraints(delta_c=10, delta_w=20), max_nodes=4
+        )
+        groups = census.pair_group_counts()
+        assert groups["disjoint"] == 1  # (0,2) then (1,3) share nothing
+        census3 = run_census(
+            g, 3, TimingConstraints(delta_c=10, delta_w=20), max_nodes=3
+        )
+        assert census3.pair_group_counts()["disjoint"] == 0
+
+    def test_four_event_codes_are_canonical(self, small_sms):
+        from repro.core.notation import is_valid_code
+
+        g = small_sms.head(300)
+        census = run_census(
+            g, 4, TimingConstraints(delta_c=300, delta_w=600), max_nodes=4
+        )
+        for code in census.code_counts:
+            assert is_valid_code(code)
+            assert len(code) == 8
+
+    def test_four_event_subset_of_looser_window(self, small_sms):
+        g = small_sms.head(300)
+        tight = run_census(
+            g, 4, TimingConstraints.from_ratio(600, 0.33), max_nodes=4
+        )
+        loose = run_census(
+            g, 4, TimingConstraints.from_ratio(600, 1.0), max_nodes=4
+        )
+        for code, n in tight.code_counts.items():
+            assert n <= loose.code_counts.get(code, 0)

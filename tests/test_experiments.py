@@ -1,0 +1,178 @@
+"""Integration tests: every experiment runs and shows the paper's shapes.
+
+Dataset-backed experiments run at a small scale on a subset of datasets so
+the suite stays fast; shape assertions are therefore *lenient* (signs and
+orderings that are robust at small scale) — the benchmark harness runs the
+full-scale versions.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.runner import run_all
+
+SCALE = 0.25
+MSG = ["sms-copenhagen", "college-msg"]
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "figure1", "figure3", "figure4", "figure5", "figure6",
+            "figure7", "figure8", "figure9", "figure10", "figure11",
+            "nullmodels",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="known experiments"):
+            run_experiment("table99")
+
+
+class TestConceptualExperiments:
+    def test_table1_matches_paper(self):
+        result = run_experiment("table1")
+        assert result.data["mismatches"] == []
+
+    def test_figure1_matches_paper(self):
+        result = run_experiment("figure1")
+        assert result.data["agreement"]
+        assert result.data["verdicts"] == result.data["expected"]
+
+
+class TestTable2:
+    def test_rows_for_each_dataset(self):
+        result = run_experiment("table2", datasets=MSG, scale=SCALE)
+        assert set(result.data) == set(MSG)
+        for row in result.data.values():
+            assert row["events"] > 0
+            assert 0 < row["unique_ts_fraction"] <= 1
+
+
+class TestTable3:
+    def test_restriction_removes_majority(self):
+        result = run_experiment("table3", datasets=MSG, scale=SCALE)
+        for name in MSG:
+            assert result.data[name]["survival"] < 0.5
+
+    def test_restricted_counts_are_subsets(self):
+        result = run_experiment("table3", datasets=MSG, scale=SCALE)
+        for name in MSG:
+            non = result.data[name]["non_consecutive"]
+            cons = result.data[name]["consecutive"]
+            for code, n in cons.items():
+                assert n <= non.get(code, 0)
+
+
+class TestTable4:
+    def test_bitcoin_row_exactly_zero(self):
+        result = run_experiment("table4", datasets=["bitcoin-otc"], scale=0.5)
+        assert result.data["bitcoin-otc"]["variance"] == 0.0
+        assert all(
+            v == 0.0 for v in result.data["bitcoin-otc"]["changes"].values()
+        )
+
+    def test_cdg_counts_are_subsets(self):
+        result = run_experiment("table4", datasets=MSG, scale=SCALE)
+        for name in MSG:
+            vanilla = result.data[name]["vanilla"]
+            cdg = result.data[name]["cdg"]
+            for code, n in cdg.items():
+                assert n <= vanilla.get(code, 0)
+
+    def test_delayed_repetition_loses_share_in_messages(self):
+        result = run_experiment("table4", datasets=["sms-copenhagen"], scale=0.5)
+        changes = result.data["sms-copenhagen"]["changes"]
+        assert changes["010201"] <= 0
+        assert changes["010102"] >= 0
+
+
+class TestTable5:
+    def test_counts_monotone_and_rpio_dominant(self):
+        result = run_experiment("table5", datasets=["sms-copenhagen"], scale=0.5)
+        groups = result.data["sms-copenhagen"]
+        w = groups["only-ΔW"]
+        both = groups["ΔC/ΔW=0.66"]
+        c = groups["only-ΔC"]
+        for key in ("RPIO", "CW"):
+            assert w[key] >= both[key] >= c[key]
+        assert w["RPIO"] > 5 * w["CW"]
+
+    def test_rpio_reduced_at_least_as_much_as_cw(self):
+        result = run_experiment("table5", datasets=["sms-copenhagen"], scale=1.0)
+        groups = result.data["sms-copenhagen"]
+        w, c = groups["only-ΔW"], groups["only-ΔC"]
+        rpio_ratio = c["RPIO"] / max(w["RPIO"], 1)
+        cw_ratio = c["CW"] / max(w["CW"], 1)
+        assert rpio_ratio <= cw_ratio + 0.02
+
+
+class TestFigures:
+    def test_figure3_shares_sum_to_one(self):
+        result = run_experiment(
+            "figure3", datasets=["stackoverflow"], scale=SCALE,
+            n_events_list=(3,),
+        )
+        for per_config in result.data["stackoverflow"]["3e"].values():
+            assert sum(per_config.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_figure4_skew_shrinks_with_delta_c(self):
+        result = run_experiment(
+            "figure4", panels=(("sms-copenhagen", "010102"),), scale=1.0
+        )
+        panel = result.data["sms-copenhagen:010102"]
+        assert abs(panel["only-ΔC"]["skew"]) <= abs(panel["only-ΔW"]["skew"]) + 0.02
+
+    def test_figure5_uniformity_increases_toward_only_w(self):
+        result = run_experiment(
+            "figure5", datasets=["sms-copenhagen"], scale=1.0
+        )
+        per_config = result.data["sms-copenhagen"]
+        assert (
+            per_config["only-ΔW"]["uniformity"]
+            >= per_config["only-ΔC"]["uniformity"] - 0.02
+        )
+
+    def test_figure6_matrix_shape_and_asymmetry(self):
+        result = run_experiment("figure6", datasets=["sms-copenhagen"], scale=0.5)
+        entry = result.data["sms-copenhagen"]
+        matrix = entry["matrix"]
+        assert len(matrix) == 6 and all(len(row) == 6 for row in matrix)
+        # convey→out-burst preferred over out-burst→convey
+        assert entry["asymmetries"]["C_then_O_vs_O_then_C"] > 0
+
+
+class TestAppendixTables:
+    def test_table6_covers_all_32_motifs(self):
+        result = run_experiment("table6", datasets=MSG, scale=SCALE)
+        for changes in result.data["rank_changes"].values():
+            assert len(changes) == 32
+
+    def test_table7_changes_sum_to_zero(self):
+        result = run_experiment("table7", datasets=MSG, scale=SCALE)
+        for changes in result.data["proportion_changes"].values():
+            assert sum(changes.values()) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestNullModels:
+    def test_dilemma_direction(self):
+        result = run_experiment(
+            "nullmodels", datasets=["sms-copenhagen"], scale=0.3, n_null=3
+        )
+        entry = result.data["sms-copenhagen"]
+        loose = entry["loose (P(t))"]
+        restrictive = entry["restrictive (P(Δt))"]
+        assert loose["count_shift"] > restrictive["count_shift"]
+        assert loose["flagged_fraction"] >= restrictive["flagged_fraction"]
+
+
+class TestRunner:
+    def test_text_reports_are_nonempty(self):
+        for eid in ("table1", "figure1"):
+            result = run_experiment(eid)
+            assert result.title in result.text
+
+    def test_run_all_smoke(self):
+        results = run_all(datasets=["sms-copenhagen"], scale=0.1)
+        assert len(results) == len(EXPERIMENTS)

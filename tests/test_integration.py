@@ -1,0 +1,137 @@
+"""Cross-module integration tests.
+
+These wire several subsystems together the way downstream users would and
+check the global consistency relations between them.
+"""
+
+import pytest
+
+from repro.algorithms.components import temporal_components
+from repro.algorithms.counting import count_motifs, run_census
+from repro.algorithms.restrictions import (
+    combine,
+    is_static_induced,
+    satisfies_cdg,
+    satisfies_consecutive_events,
+)
+from repro.analysis.burstiness import graph_burstiness
+from repro.core.colored import count_colored_motifs, group_by_structure
+from repro.core.constraints import TimingConstraints
+from repro.core.motif import Motif, node_motif_profiles
+from repro.core.snapshots import resolution_collision_rate
+from repro.models import HulovatyyModel, KovanenModel, ParanjapeModel, SongModel
+
+CONSTRAINTS = TimingConstraints(delta_c=600, delta_w=1200)
+
+
+class TestModelsVsFilters:
+    """Model.count must equal enumerator + the model's restriction filter."""
+
+    def test_kovanen_equals_consecutive_filter(self, small_sms):
+        model_counts = KovanenModel(600).count(small_sms, 3, max_nodes=3)
+        filter_counts = count_motifs(
+            small_sms, 3, TimingConstraints.only_c(600), max_nodes=3,
+            predicate=satisfies_consecutive_events,
+        )
+        assert model_counts == filter_counts
+
+    def test_song_equals_plain_window_counts(self, small_sms):
+        model_counts = SongModel(1200).count(small_sms, 3, max_nodes=3)
+        plain = count_motifs(
+            small_sms, 3, TimingConstraints.only_w(1200), max_nodes=3
+        )
+        assert model_counts == plain
+
+    def test_paranjape_equals_inducedness_filter(self, small_sms):
+        model_counts = ParanjapeModel(1200).count(small_sms, 3, max_nodes=3)
+        filter_counts = count_motifs(
+            small_sms, 3, TimingConstraints.only_w(1200), max_nodes=3,
+            predicate=is_static_induced,
+        )
+        assert model_counts == filter_counts
+
+    def test_constrained_hulovatyy_equals_combined_filter(self, small_sms):
+        model_counts = HulovatyyModel(600, constrained=True).count(
+            small_sms, 3, max_nodes=3
+        )
+        filter_counts = count_motifs(
+            small_sms, 3, TimingConstraints.only_c(600), max_nodes=3,
+            predicate=combine(is_static_induced, satisfies_cdg),
+        )
+        assert model_counts == filter_counts
+
+
+class TestCensusConsistency:
+    def test_census_internal_relations(self, small_email):
+        census = run_census(small_email, 3, CONSTRAINTS, max_nodes=3)
+        assert census.total == sum(census.code_counts.values())
+        assert census.total == sum(census.pair_sequence_counts.values())
+        assert sum(census.pair_counts.values()) == 2 * census.total
+        assert sum(census.pair_group_counts().values()) == census.total
+
+    def test_motif_objects_agree_with_census(self, small_email):
+        census = run_census(small_email, 3, CONSTRAINTS, max_nodes=3)
+        top_code = max(census.code_counts, key=census.code_counts.get)
+        assert Motif(top_code).count(small_email, CONSTRAINTS) == (
+            census.code_counts[top_code]
+        )
+
+    def test_orbit_profiles_agree_with_census(self, small_email):
+        census = run_census(small_email, 3, CONSTRAINTS, max_nodes=3)
+        profiles = node_motif_profiles(small_email, 3, CONSTRAINTS, max_nodes=3)
+        # per code: summing any single orbit over all nodes = code count
+        recovered = {}
+        for profile in profiles.values():
+            for (code, orbit), n in profile.items():
+                if orbit == 0:
+                    recovered[code] = recovered.get(code, 0) + n
+        assert recovered == dict(census.code_counts)
+
+    def test_colored_counts_refine_plain_counts(self, small_email):
+        coloring = {node: node % 3 for node in small_email.nodes}
+        colored = count_colored_motifs(
+            small_email, 3, CONSTRAINTS, coloring, max_nodes=3
+        )
+        plain = count_motifs(small_email, 3, CONSTRAINTS, max_nodes=3)
+        regrouped = group_by_structure(colored)
+        assert {c: sum(v.values()) for c, v in regrouped.items()} == dict(plain)
+
+
+class TestComponentsVsCounts:
+    def test_only_c_motifs_span_few_components(self, small_sms):
+        """An only-ΔC motif's *consecutive same-node* events are within ΔC,
+        so most instances concentrate inside bursts: the number of distinct
+        components touched is small relative to motif count."""
+        g = small_sms.head(500)
+        comps = temporal_components(g, delta_c=600)
+        biggest = max(len(c) for c in comps)
+        assert biggest >= 3  # bursts exist at all
+
+    def test_burstiness_and_collision_coherence(self, small_sms, small_bitcoin):
+        """Burstier, denser traffic loses more orderings when degraded."""
+        assert graph_burstiness(small_sms) > 0
+        assert resolution_collision_rate(
+            small_sms, 300
+        ) >= resolution_collision_rate(small_bitcoin, 300)
+
+
+class TestEndToEndPipeline:
+    def test_generate_count_analyze_roundtrip(self, tmp_path):
+        """The full user journey: generate → save → load → count → analyze."""
+        from repro.analysis.pairseq import pair_sequence_matrix
+        from repro.analysis.rankings import top_k
+        from repro.datasets.io import read_event_list, write_event_list
+        from repro.datasets.registry import get_dataset
+
+        graph = get_dataset("college-msg", scale=0.1)
+        path = tmp_path / "college.txt"
+        write_event_list(graph, path)
+        loaded = read_event_list(path)
+        assert loaded.events == graph.events
+
+        census = run_census(loaded, 3, CONSTRAINTS, max_nodes=3)
+        matrix = pair_sequence_matrix(census.pair_sequence_counts)
+        assert matrix.sum() == census.total
+        if census.total:
+            top = top_k(census.code_counts, 1)
+            assert top[0][1] >= 1

@@ -1,0 +1,77 @@
+"""Tests for event-list I/O."""
+
+import pytest
+
+from repro.core.temporal_graph import TemporalGraph
+from repro.datasets.io import read_event_list, roundtrip, write_event_list, write_many
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_events(self, tmp_path, triangle_graph):
+        back = roundtrip(triangle_graph, tmp_path / "g.txt")
+        assert back.events == triangle_graph.events
+
+    def test_roundtrip_dataset(self, tmp_path, small_sms):
+        back = roundtrip(small_sms, tmp_path / "sms.txt")
+        assert back.events == small_sms.events
+
+    def test_integral_times_written_as_ints(self, tmp_path, triangle_graph):
+        path = tmp_path / "g.txt"
+        write_event_list(triangle_graph, path)
+        body = [l for l in path.read_text().splitlines() if not l.startswith("#")]
+        assert body[0] == "0 1 10"
+
+    def test_float_times_preserved(self, tmp_path):
+        g = TemporalGraph.from_tuples([(0, 1, 1.5)])
+        back = roundtrip(g, tmp_path / "g.txt")
+        assert back.events[0].t == 1.5
+
+    def test_header_optional(self, tmp_path, triangle_graph):
+        path = tmp_path / "g.txt"
+        write_event_list(triangle_graph, path, header=False)
+        assert not path.read_text().startswith("#")
+
+
+class TestRead:
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1 5\n# another\n1 2 9\n")
+        g = read_event_list(path)
+        assert len(g) == 2
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1 5\n")
+        assert read_event_list(path).name == "mygraph"
+
+    def test_explicit_name(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 5\n")
+        assert read_event_list(path, name="other").name == "other"
+
+    def test_malformed_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 5\n0 1\n")
+        with pytest.raises(ValueError, match=":2"):
+            read_event_list(path)
+
+    def test_unparsable_values_reports_lineno(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b c\n")
+        with pytest.raises(ValueError, match=":1"):
+            read_event_list(path)
+
+
+class TestWriteMany:
+    def test_writes_named_files(self, tmp_path):
+        graphs = [
+            TemporalGraph.from_tuples([(0, 1, 1)], name="one"),
+            TemporalGraph.from_tuples([(1, 2, 2)], name="two"),
+        ]
+        paths = write_many(graphs, tmp_path / "data")
+        assert [p.name for p in paths] == ["one.txt", "two.txt"]
+        assert all(p.exists() for p in paths)
+
+    def test_requires_names(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_many([TemporalGraph.from_tuples([(0, 1, 1)])], tmp_path)

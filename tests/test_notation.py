@@ -1,0 +1,162 @@
+"""Unit tests for the motif notation — including the paper's taxonomy counts."""
+
+import pytest
+
+from repro.core.notation import (
+    all_motif_codes,
+    canonical_code,
+    code_edges,
+    code_nodes,
+    code_of_events,
+    describe_code,
+    event_count_of_code,
+    is_single_component_growth,
+    is_valid_code,
+    motif_codes_with_nodes,
+    node_count_of_code,
+    parse_code,
+)
+
+
+class TestCanonicalCode:
+    def test_first_event_always_01(self):
+        assert canonical_code([(42, 17)]) == "01"
+
+    def test_paper_triangle_example(self):
+        # Figure 2's 011202: black→white, white→gray, black→gray.
+        assert canonical_code([(5, 6), (6, 7), (5, 7)]) == "011202"
+
+    def test_paper_four_event_example(self):
+        # Figure 2's 01023132.
+        assert canonical_code([(9, 8), (9, 7), (6, 8), (6, 7)]) == "01023132"
+
+    def test_node_numbering_follows_appearance(self):
+        assert canonical_code([(3, 1), (1, 2)]) == "0112"
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            canonical_code([(1, 1)])
+
+    def test_rejects_too_many_nodes(self):
+        pairs = [(0, 1)] + [(0, k) for k in range(2, 12)]
+        with pytest.raises(ValueError, match="too many nodes"):
+            canonical_code(pairs)
+
+    def test_code_of_events_uses_node_pairs(self):
+        assert code_of_events([(4, 5, 100.0), (5, 6, 200.0)]) == "0112"
+
+
+class TestParseCode:
+    def test_roundtrip(self):
+        pairs = parse_code("011202")
+        assert pairs == [(0, 1), (1, 2), (0, 2)]
+        assert canonical_code(pairs) == "011202"
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            parse_code("011")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_code("")
+
+    def test_rejects_non_digits(self):
+        with pytest.raises(ValueError):
+            parse_code("01ab")
+
+    def test_rejects_loop_pair(self):
+        with pytest.raises(ValueError):
+            parse_code("0111")
+
+
+class TestValidity:
+    def test_canonical_codes_are_valid(self):
+        assert is_valid_code("010102")
+        assert is_valid_code("011202")
+
+    def test_non_canonical_numbering_invalid(self):
+        assert not is_valid_code("0212")  # first event must be 01
+
+    def test_disconnected_growth_invalid(self):
+        assert not is_valid_code("0123")  # second event touches no seen node
+
+    def test_malformed_invalid(self):
+        assert not is_valid_code("abc")
+        assert not is_valid_code("0")
+
+    def test_growth_check_direct(self):
+        assert is_single_component_growth([(0, 1), (1, 2), (2, 3)])
+        assert not is_single_component_growth([(0, 1), (2, 3)])
+        assert not is_single_component_growth([])
+
+
+class TestTaxonomyCounts:
+    """The counts the paper states (Section 5, 'Motif notation')."""
+
+    def test_three_event_up_to_three_nodes_is_36(self):
+        assert len(all_motif_codes(3, 3)) == 36
+
+    def test_3n3e_is_32(self):
+        assert len(motif_codes_with_nodes(3, 3)) == 32
+
+    def test_2n3e_is_4(self):
+        assert len(motif_codes_with_nodes(3, 2)) == 4
+
+    def test_four_event_up_to_three_nodes_is_216(self):
+        assert len(all_motif_codes(4, 3)) == 216
+
+    def test_4n4e_is_480(self):
+        assert len(motif_codes_with_nodes(4, 4)) == 480
+
+    def test_four_event_up_to_four_nodes_is_696(self):
+        assert len(all_motif_codes(4, 4)) == 696
+
+    def test_2n4e_is_8(self):
+        assert len(motif_codes_with_nodes(4, 2)) == 8
+
+    def test_3n4e_is_208(self):
+        assert len(motif_codes_with_nodes(4, 3)) == 208
+
+    def test_two_event_codes_are_the_six_pair_types(self):
+        assert len(all_motif_codes(2, 3)) == 6
+
+    def test_all_generated_codes_valid(self):
+        for code in all_motif_codes(3, 3):
+            assert is_valid_code(code)
+
+    def test_codes_sorted_and_unique(self):
+        codes = all_motif_codes(3, 3)
+        assert list(codes) == sorted(set(codes))
+
+    def test_single_event(self):
+        assert all_motif_codes(1) == ("01",)
+
+    def test_rejects_zero_events(self):
+        with pytest.raises(ValueError):
+            all_motif_codes(0)
+
+    def test_paper_focus_motifs_exist(self):
+        codes = set(motif_codes_with_nodes(3, 3))
+        for focus in ("010210", "011210", "012010", "012110",
+                      "010102", "010202", "012020", "010201"):
+            assert focus in codes
+
+
+class TestHelpers:
+    def test_node_count(self):
+        assert node_count_of_code("010102") == 3
+        assert node_count_of_code("0101") == 2
+
+    def test_event_count(self):
+        assert event_count_of_code("010102") == 3
+
+    def test_code_edges(self):
+        assert code_edges("010102") == {(0, 1), (0, 2)}
+
+    def test_code_nodes(self):
+        assert code_nodes("011202") == {0, 1, 2}
+
+    def test_describe(self):
+        text = describe_code("011202")
+        assert "3 events" in text
+        assert "3 nodes" in text

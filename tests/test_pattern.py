@@ -1,0 +1,155 @@
+"""Tests for event patterns (the Song model's query language)."""
+
+import pytest
+
+from repro.algorithms.pattern import (
+    EventPattern,
+    PatternEvent,
+    chain_pattern,
+    square_pattern,
+)
+from repro.core.events import Event
+
+
+class TestPatternEvent:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            PatternEvent("A", "A")
+
+
+class TestConstruction:
+    def test_requires_events(self):
+        with pytest.raises(ValueError):
+            EventPattern(events=[])
+
+    def test_rejects_bad_order_pairs(self):
+        with pytest.raises(ValueError):
+            EventPattern(events=[PatternEvent("A", "B")], order=[(0, 5)])
+
+    def test_rejects_cyclic_order(self):
+        events = [PatternEvent("A", "B"), PatternEvent("B", "C")]
+        with pytest.raises(ValueError, match="cycle"):
+            EventPattern(events=events, order=[(0, 1), (1, 0)])
+
+    def test_variables_in_appearance_order(self):
+        p = chain_pattern(2)
+        assert p.variables == ("A", "B", "C")
+
+    def test_predecessors_transitive(self):
+        p = chain_pattern(3)  # total order 0<1<2
+        assert p.predecessors(2) == {0, 1}
+        assert p.predecessors(0) == set()
+
+    def test_total_order_detection(self):
+        assert chain_pattern(3, total=True).is_total_order()
+        assert not chain_pattern(3, total=False).is_total_order()
+        assert EventPattern(events=[PatternEvent("A", "B")]).is_total_order()
+
+
+class TestMatching:
+    def test_chain_matches_convey_sequence(self):
+        p = chain_pattern(2)
+        events = [Event(10, 11, 0.0), Event(11, 12, 5.0)]
+        assert p.matches_sequence(events)
+
+    def test_chain_rejects_wrong_shape(self):
+        p = chain_pattern(2)
+        events = [Event(10, 11, 0.0), Event(10, 12, 5.0)]  # out-burst
+        assert not p.matches_sequence(events)
+
+    def test_length_mismatch(self):
+        assert not chain_pattern(2).matches_sequence([Event(0, 1, 0.0)])
+
+    def test_partial_order_allows_either_time_order(self):
+        """Unordered pattern events match regardless of arrival order."""
+        p = EventPattern(
+            events=[PatternEvent("A", "B"), PatternEvent("A", "C")], order=[]
+        )
+        forward = [Event(0, 1, 0.0), Event(0, 2, 5.0)]
+        backward = [Event(0, 2, 0.0), Event(0, 1, 5.0)]
+        assert p.matches_sequence(forward)
+        assert p.matches_sequence(backward)
+
+    def test_total_order_constrains_assignment(self):
+        """The paper's acyclic-triangle example: B→C precedes A→B and A→C."""
+        p = EventPattern(
+            events=[
+                PatternEvent("A", "B"),
+                PatternEvent("A", "C"),
+                PatternEvent("B", "C"),
+            ],
+            order=[(2, 0), (2, 1)],
+        )
+        # B→C first: matches.
+        ok = [Event(1, 2, 0.0), Event(0, 1, 5.0), Event(0, 2, 9.0)]
+        assert p.matches_sequence(ok)
+        # B→C last: violates the partial order.
+        bad = [Event(0, 1, 0.0), Event(0, 2, 5.0), Event(1, 2, 9.0)]
+        assert not p.matches_sequence(bad)
+
+    def test_injective_binding(self):
+        p = chain_pattern(2)  # A→B→C with distinct variables
+        events = [Event(0, 1, 0.0), Event(1, 0, 5.0)]  # C would equal A
+        assert not p.matches_sequence(events)
+
+    def test_non_injective_mode(self):
+        p = EventPattern(
+            events=[PatternEvent("A", "B"), PatternEvent("B", "C")],
+            order=[(0, 1)],
+            injective=False,
+        )
+        events = [Event(0, 1, 0.0), Event(1, 0, 5.0)]
+        assert p.matches_sequence(events)
+
+
+class TestLabels:
+    def test_edge_labels(self):
+        labeler = lambda ev: "big" if ev.t > 10 else "small"
+        p = EventPattern(
+            events=[PatternEvent("A", "B", edge_label="small"),
+                    PatternEvent("B", "C", edge_label="big")],
+            order=[(0, 1)],
+            edge_labeler=labeler,
+        )
+        assert p.matches_sequence([Event(0, 1, 5.0), Event(1, 2, 20.0)])
+        assert not p.matches_sequence([Event(0, 1, 20.0), Event(1, 2, 25.0)])
+
+    def test_edge_label_without_labeler_raises(self):
+        p = EventPattern(
+            events=[PatternEvent("A", "B", edge_label="x")],
+        )
+        with pytest.raises(ValueError, match="edge_labeler"):
+            p.matches_sequence([Event(0, 1, 0.0)])
+
+    def test_node_labels(self):
+        kind = {0: "customer", 1: "merchant", 2: "customer"}
+        p = EventPattern(
+            events=[PatternEvent("A", "B")],
+            node_labels={"A": "customer", "B": "merchant"},
+            node_labeler=kind.get,
+        )
+        assert p.matches_sequence([Event(0, 1, 0.0)])
+        assert not p.matches_sequence([Event(1, 0, 0.0)])
+
+    def test_node_label_without_labeler_raises(self):
+        p = EventPattern(
+            events=[PatternEvent("A", "B")], node_labels={"A": "x"}
+        )
+        with pytest.raises(ValueError, match="node_labeler"):
+            p.matches_sequence([Event(0, 1, 0.0)])
+
+
+class TestTemplates:
+    def test_square_pattern_shape(self):
+        p = square_pattern(total=True)
+        events = [
+            Event(0, 1, 0.0), Event(1, 2, 2.0), Event(2, 3, 4.0), Event(3, 0, 6.0)
+        ]
+        assert p.matches_sequence(events)
+
+    def test_square_rejects_triangle(self):
+        p = square_pattern(total=True)
+        events = [
+            Event(0, 1, 0.0), Event(1, 2, 2.0), Event(2, 0, 4.0), Event(0, 1, 6.0)
+        ]
+        assert not p.matches_sequence(events)

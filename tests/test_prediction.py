@@ -1,0 +1,125 @@
+"""Tests for event-pair-based next-event prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core.eventpairs import ALL_PAIR_TYPES, PairType
+from repro.core.temporal_graph import TemporalGraph
+from repro.prediction.pairs import (
+    PairTransitionModel,
+    evaluate_pair_prediction,
+    pair_transitions,
+)
+
+
+@pytest.fixture
+def volley_graph() -> TemporalGraph:
+    """Strict ping-pong chains: P always follows P."""
+    events = []
+    t = 0.0
+    for _ in range(30):
+        events.append((0, 1, t))
+        events.append((1, 0, t + 5))
+        t += 10
+    return TemporalGraph.from_tuples(events)
+
+
+class TestPairTransitions:
+    def test_volley_graph_transitions_all_ping_pong(self, volley_graph):
+        transitions = list(pair_transitions(volley_graph, horizon=100))
+        assert transitions
+        assert all(
+            a is PairType.PING_PONG and b is PairType.PING_PONG
+            for a, b in transitions
+        )
+
+    def test_horizon_limits_successors(self, volley_graph):
+        assert list(pair_transitions(volley_graph, horizon=1)) == []
+
+    def test_convey_chain_transitions(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0), (1, 2, 5), (2, 3, 9)])
+        transitions = list(pair_transitions(g, horizon=100))
+        assert (PairType.CONVEY, PairType.CONVEY) in transitions
+
+
+class TestModel:
+    def test_rejects_negative_smoothing(self):
+        with pytest.raises(ValueError):
+            PairTransitionModel(smoothing=-1)
+
+    def test_transition_matrix_row_stochastic(self, volley_graph):
+        model = PairTransitionModel().fit(volley_graph, horizon=100)
+        matrix = model.transition_matrix()
+        assert matrix.shape == (6, 6)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_learns_dominant_transition(self, volley_graph):
+        model = PairTransitionModel(smoothing=0.1).fit(volley_graph, horizon=100)
+        assert model.predict_type(PairType.PING_PONG) is PairType.PING_PONG
+
+    def test_marginal_prediction_cold_start(self, volley_graph):
+        model = PairTransitionModel(smoothing=0.1).fit(volley_graph, horizon=100)
+        assert model.predict_type(None) is PairType.PING_PONG
+
+    def test_distributions_sum_to_one(self, volley_graph):
+        model = PairTransitionModel().fit(volley_graph, horizon=100)
+        for current in list(ALL_PAIR_TYPES) + [None]:
+            dist = model.next_type_distribution(current)
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_untrained_model_is_uniform(self):
+        model = PairTransitionModel()
+        dist = model.next_type_distribution(PairType.REPETITION)
+        assert all(p == pytest.approx(1 / 6) for p in dist.values())
+
+
+class TestEventPrediction:
+    def test_shapes_pin_the_right_endpoints(self, volley_graph):
+        from repro.core.events import Event
+
+        model = PairTransitionModel(smoothing=0.1).fit(volley_graph, horizon=100)
+        last = Event(4, 9, 100.0)
+        predictions = model.predict_events(last, PairType.PING_PONG, top=6)
+        by_type = {p.pair_type: p for p in predictions}
+        assert (by_type[PairType.PING_PONG].source,
+                by_type[PairType.PING_PONG].target) == (9, 4)
+        assert (by_type[PairType.REPETITION].source,
+                by_type[PairType.REPETITION].target) == (4, 9)
+        assert by_type[PairType.OUT_BURST].source == 4
+        assert by_type[PairType.OUT_BURST].target is None
+        assert by_type[PairType.CONVEY].source == 9
+        assert by_type[PairType.IN_BURST].target == 9
+        assert by_type[PairType.WEAKLY_CONNECTED].target == 4
+
+    def test_top_ranked_first(self, volley_graph):
+        from repro.core.events import Event
+
+        model = PairTransitionModel(smoothing=0.1).fit(volley_graph, horizon=100)
+        predictions = model.predict_events(Event(0, 1, 0.0), PairType.PING_PONG)
+        assert predictions[0].pair_type is PairType.PING_PONG
+        probs = [p.probability for p in predictions]
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestEvaluation:
+    def test_rejects_bad_fraction(self, volley_graph):
+        with pytest.raises(ValueError):
+            evaluate_pair_prediction(volley_graph, horizon=100, train_fraction=1.5)
+
+    def test_perfectly_predictable_graph(self, volley_graph):
+        scores = evaluate_pair_prediction(volley_graph, horizon=100)
+        assert scores["n_test"] > 0
+        assert scores["accuracy"] == 1.0
+
+    def test_beats_random_on_real_data(self, small_sms):
+        scores = evaluate_pair_prediction(small_sms, horizon=900)
+        assert scores["n_test"] > 50
+        assert scores["accuracy"] > scores["random"]
+        # the learned model should not lose to its own marginal baseline
+        assert scores["accuracy"] >= scores["baseline"] - 0.02
+
+    def test_empty_test_set(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0), (1, 0, 5), (0, 1, 9)])
+        scores = evaluate_pair_prediction(g, horizon=1, train_fraction=0.7)
+        assert scores["n_test"] == 0
+        assert scores["accuracy"] == 0.0

@@ -1,0 +1,76 @@
+"""Tests for proportion analysis (Tables 4/7, Figure 3)."""
+
+import pytest
+
+from repro.analysis.proportions import (
+    proportion_changes,
+    proportion_variance,
+    proportions,
+    share_change_sign,
+)
+
+
+class TestProportions:
+    def test_normalizes(self):
+        props = proportions({"a": 3, "b": 1})
+        assert props == {"a": 0.75, "b": 0.25}
+
+    def test_universe_fills_zeros(self):
+        props = proportions({"a": 4}, universe=["a", "b"])
+        assert props == {"a": 1.0, "b": 0.0}
+
+    def test_all_zero_yields_zeros_not_nan(self):
+        props = proportions({}, universe=["a", "b"])
+        assert props == {"a": 0.0, "b": 0.0}
+
+
+class TestChanges:
+    def test_percentage_points(self):
+        before = {"a": 50, "b": 50}
+        after = {"a": 75, "b": 25}
+        changes = proportion_changes(before, after)
+        assert changes["a"] == pytest.approx(25.0)
+        assert changes["b"] == pytest.approx(-25.0)
+
+    def test_fraction_mode(self):
+        before = {"a": 1, "b": 1}
+        after = {"a": 1}
+        changes = proportion_changes(before, after, percentage=False)
+        assert changes["a"] == pytest.approx(0.5)
+
+    def test_changes_sum_to_zero(self):
+        before = {"a": 10, "b": 30, "c": 60}
+        after = {"a": 30, "b": 30, "c": 40}
+        changes = proportion_changes(before, after)
+        assert sum(changes.values()) == pytest.approx(0.0)
+
+    def test_identical_counts_no_change(self):
+        counts = {"a": 5, "b": 3}
+        changes = proportion_changes(counts, counts)
+        assert all(v == pytest.approx(0.0) for v in changes.values())
+
+    def test_empty_after_is_all_negative_or_zero(self):
+        changes = proportion_changes({"a": 5, "b": 5}, {}, universe=["a", "b"])
+        assert all(v <= 0 for v in changes.values())
+
+
+class TestVariance:
+    def test_zero_for_no_changes(self):
+        assert proportion_variance({"a": 0.0, "b": 0.0}) == 0.0
+
+    def test_zero_for_empty(self):
+        assert proportion_variance({}) == 0.0
+
+    def test_larger_dispersion_larger_variance(self):
+        small = proportion_variance({"a": 1.0, "b": -1.0})
+        large = proportion_variance({"a": 10.0, "b": -10.0})
+        assert large > small
+
+
+class TestSigns:
+    def test_sign_values(self):
+        before = {"a": 50, "b": 50}
+        after = {"a": 75, "b": 25}
+        assert share_change_sign(before, after, "a") == 1
+        assert share_change_sign(before, after, "b") == -1
+        assert share_change_sign(before, before, "a") == 0

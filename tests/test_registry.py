@@ -1,0 +1,94 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASETS,
+    MESSAGE_NETWORKS,
+    dataset_names,
+    get_dataset,
+    get_spec,
+)
+
+
+class TestRegistryContents:
+    def test_nine_datasets(self):
+        assert len(DATASETS) == 9
+
+    def test_paper_dataset_names_present(self):
+        expected = {
+            "bitcoin-otc", "college-msg", "calls-copenhagen", "sms-copenhagen",
+            "email", "fb-wall", "sms-a", "stackoverflow", "superuser",
+        }
+        assert set(dataset_names()) == expected
+
+    def test_message_networks_subset(self):
+        assert set(MESSAGE_NETWORKS) <= set(dataset_names())
+
+    def test_specs_have_descriptions_and_rows(self):
+        for spec in DATASETS.values():
+            assert spec.description
+            assert spec.paper_row.events > 0
+            assert 0 < spec.paper_row.unique_ts_fraction <= 1
+
+    def test_bitcoin_forbids_repeated_edges(self):
+        assert not DATASETS["bitcoin-otc"].config.allow_repeated_edges
+
+    def test_email_has_same_timestamp_ccs(self):
+        assert DATASETS["email"].config.cc_same_timestamp
+
+    def test_qa_sites_have_in_bursts(self):
+        assert DATASETS["stackoverflow"].config.p_in_burst > 0
+        assert DATASETS["superuser"].config.p_in_burst > 0
+
+    def test_message_networks_reply_heavy(self):
+        for name in MESSAGE_NETWORKS:
+            cfg = DATASETS[name].config
+            assert cfg.p_reply >= 0.5
+
+
+class TestGetDataset:
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known datasets"):
+            get_dataset("nope")
+        with pytest.raises(KeyError):
+            get_spec("nope")
+
+    def test_default_seed_is_deterministic(self):
+        a = get_dataset("calls-copenhagen", scale=0.2)
+        b = get_dataset("calls-copenhagen", scale=0.2)
+        assert a.events == b.events
+
+    def test_seed_override_changes_data(self):
+        a = get_dataset("calls-copenhagen", scale=0.2)
+        b = get_dataset("calls-copenhagen", scale=0.2, seed=999)
+        assert a.events != b.events
+
+    def test_scale_changes_size(self):
+        small = get_dataset("calls-copenhagen", scale=0.1)
+        spec = DATASETS["calls-copenhagen"]
+        assert len(small) == max(1, int(round(spec.config.n_events * 0.1)))
+
+    def test_graph_is_named(self):
+        g = get_dataset("fb-wall", scale=0.05)
+        assert g.name == "fb-wall"
+
+
+class TestDomainSignatures:
+    """The Table-2 signatures the generators are calibrated to."""
+
+    def test_bitcoin_events_equal_edges(self, small_bitcoin):
+        assert len(small_bitcoin) == small_bitcoin.num_edges
+
+    def test_email_unique_fraction_low(self, small_email):
+        others = get_dataset("college-msg", scale=0.1)
+        assert (
+            small_email.unique_timestamp_fraction()
+            < others.unique_timestamp_fraction()
+        )
+
+    def test_bitcoin_has_largest_median_gap(self, small_bitcoin, small_sms):
+        assert (
+            small_bitcoin.median_interevent_time()
+            > small_sms.median_interevent_time()
+        )

@@ -1,0 +1,62 @@
+"""Tests for the report generator and the experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.report import DEFAULT_ORDER, build_report, write_report
+from repro.experiments.runner import EXPERIMENTS
+
+
+class TestReport:
+    def test_default_order_covers_all_experiments(self):
+        assert set(DEFAULT_ORDER) == set(EXPERIMENTS)
+
+    def test_build_report_sections(self):
+        text = build_report(["table1", "figure1"])
+        assert "# Reproduction report" in text
+        assert "## Table 1" in text
+        assert "## Figure 1" in text
+        assert "```text" in text
+        assert "python -m repro.experiments table1" in text
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiments"):
+            build_report(["table1", "nope"])
+
+    def test_write_report(self, tmp_path):
+        path = write_report(
+            tmp_path / "report.md",
+            ["table3"],
+            scale=0.1,
+            datasets=["sms-copenhagen"],
+        )
+        content = path.read_text()
+        assert "Table 3" in content
+        assert "sms-copenhagen" in content
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in EXPERIMENTS:
+            assert eid in out
+
+    def test_run_conceptual_experiment(self, capsys):
+        assert cli_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "[done in" in out
+
+    def test_run_with_scale_and_datasets(self, capsys):
+        code = cli_main(
+            ["table2", "--scale", "0.05", "--datasets", "sms-copenhagen"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sms-copenhagen" in out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert cli_main(["table99"]) == 2
+        err = capsys.readouterr().err
+        assert "known experiments" in err

@@ -1,0 +1,142 @@
+"""Tests for the temporal-inducedness restriction predicates."""
+
+import pytest
+
+from repro.algorithms.restrictions import (
+    combine,
+    is_static_induced,
+    satisfies_cdg,
+    satisfies_consecutive_events,
+)
+from repro.core.temporal_graph import TemporalGraph
+
+
+class TestConsecutiveEvents:
+    def test_uninterrupted_motif_passes(self, triangle_graph):
+        assert satisfies_consecutive_events(triangle_graph, (0, 1, 2))
+
+    def test_paper_section_41_example(self):
+        """Motif (u,v,5), (v,w,8), (u,v,12): no event may touch u or v inside
+        [5, 12]."""
+        base = [(0, 1, 5), (1, 2, 8), (0, 1, 12)]
+        clean = TemporalGraph.from_tuples(base)
+        assert satisfies_consecutive_events(clean, (0, 1, 2))
+
+        # an event touching u=0 inside the window breaks it
+        dirty = TemporalGraph.from_tuples(base + [(0, 3, 9)])
+        motif = tuple(
+            i for i, ev in enumerate(dirty.events) if ev.edge != (0, 3)
+        )
+        assert not satisfies_consecutive_events(dirty, motif)
+
+    def test_interruption_of_any_member_breaks(self, conversation_graph):
+        # motif (0→1@10, 1→0@20, 0→1@30): node 0 touches 0→2@25 inside.
+        assert not satisfies_consecutive_events(conversation_graph, (0, 1, 3))
+
+    def test_interruption_outside_window_is_fine(self, conversation_graph):
+        # motif (0→1@30, 1→0@40): the 0→2@25 event is before the window.
+        assert satisfies_consecutive_events(conversation_graph, (3, 4))
+
+    def test_boundary_event_counts_as_interruption(self):
+        g = TemporalGraph.from_tuples([(0, 1, 5), (0, 2, 5), (1, 0, 9)])
+        # motif (0→1@5, 1→0@9): node 0 also touches (0,2) at exactly t=5.
+        motif = tuple(i for i, ev in enumerate(g.events) if ev.edge != (0, 2))
+        assert not satisfies_consecutive_events(g, motif)
+
+    def test_single_event_always_passes(self, star_graph):
+        assert satisfies_consecutive_events(star_graph, (1,))
+
+    def test_star_burst_filtered(self, star_graph):
+        # hub's events at 10,12,14,16: motif of events 0 and 2 skips event 1.
+        assert not satisfies_consecutive_events(star_graph, (0, 2))
+        assert satisfies_consecutive_events(star_graph, (0, 1))
+
+
+class TestCDG:
+    def test_repetitions_exempt(self, conversation_graph):
+        # consecutive motif events on the same edge never violate CDG.
+        g = TemporalGraph.from_tuples([(0, 1, 0), (0, 1, 5), (0, 1, 9)])
+        assert satisfies_cdg(g, (0, 1, 2))
+
+    def test_stale_edge_breaks(self, repeated_edge_graph):
+        # motif (0→1@0, 2→3@15): edge (2,3) already fired at t=5 in between.
+        assert not satisfies_cdg(repeated_edge_graph, (0, 3))
+
+    def test_fresh_edge_passes(self, repeated_edge_graph):
+        # motif (0→1@0, 2→3@5): first occurrence of (2,3) since t=0.
+        assert satisfies_cdg(repeated_edge_graph, (0, 1))
+
+    def test_paper_formal_statement(self):
+        """Events (u1,v1,t1), (u2,v2,t2) consecutive with different edges:
+        no (u2,v2,t') may exist with t1 <= t' <= t2."""
+        g = TemporalGraph.from_tuples(
+            [(0, 1, 10), (1, 2, 12), (1, 2, 20), (0, 2, 25)]
+        )
+        # motif (0→1@10, 1→2@20): (1,2) occurred at 12 in between -> stale.
+        assert not satisfies_cdg(g, (0, 2))
+        # motif (0→1@10, 1→2@12): fresh.
+        assert satisfies_cdg(g, (0, 1))
+
+    def test_boundary_occurrence_at_t1_counts(self):
+        g = TemporalGraph.from_tuples([(1, 2, 10), (0, 1, 10), (1, 2, 15)])
+        # motif (0→1@10, 1→2@15): edge (1,2) also fired at exactly t=10.
+        motif = (
+            [i for i, ev in enumerate(g.events) if ev.edge == (0, 1)][0],
+            [i for i, ev in enumerate(g.events) if ev.t == 15][0],
+        )
+        assert not satisfies_cdg(g, motif)
+
+    def test_single_event_passes(self, star_graph):
+        assert satisfies_cdg(star_graph, (2,))
+
+
+class TestStaticInducedness:
+    def test_triangle_covering_all_edges(self, triangle_graph):
+        assert is_static_induced(triangle_graph, (0, 1, 2))
+        assert is_static_induced(triangle_graph, (0, 1, 2), scope="global")
+
+    def test_missing_diagonal_breaks_global(self):
+        """The paper's square example: a diagonal among the motif's nodes."""
+        g = TemporalGraph.from_tuples(
+            [(0, 1, 0), (1, 2, 5), (2, 3, 10), (0, 3, 15), (0, 2, 100)]
+        )
+        square = (0, 1, 2, 3)
+        # diagonal (0,2) exists in the static projection -> global fails...
+        assert not is_static_induced(g, square, scope="global")
+        # ...but it is outside the window [0, 15], so window scope passes.
+        assert is_static_induced(g, square, scope="window")
+
+    def test_skipped_event_on_covered_edge_ok(self):
+        """Hulovatyy's Section 4.1 example: (a,b,2),(b,c,4),(c,a,5),(c,a,6) —
+        the triangle of events 1, 2, 4 is valid (3rd event's edge is used)."""
+        g = TemporalGraph.from_tuples(
+            [(0, 1, 2), (1, 2, 4), (2, 0, 5), (2, 0, 6)]
+        )
+        assert is_static_induced(g, (0, 1, 3), scope="window")
+        assert is_static_induced(g, (0, 1, 3), scope="global")
+
+    def test_skipped_event_on_uncovered_edge_breaks(self):
+        g = TemporalGraph.from_tuples(
+            [(0, 1, 2), (1, 2, 4), (1, 0, 5), (2, 0, 6)]
+        )
+        # motif of events (0,1,3) skips (1,0,5) whose edge is NOT in the motif.
+        assert not is_static_induced(g, (0, 1, 3), scope="window")
+
+    def test_direction_matters(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0), (1, 0, 5), (0, 1, 9)])
+        # motif (0→1@0, 0→1@9) skips the reversed edge (1,0) inside window.
+        assert not is_static_induced(g, (0, 2), scope="window")
+
+    def test_unknown_scope_raises(self, triangle_graph):
+        with pytest.raises(ValueError):
+            is_static_induced(triangle_graph, (0, 1, 2), scope="bogus")
+
+
+class TestCombine:
+    def test_combined_predicate(self, triangle_graph):
+        both = combine(satisfies_consecutive_events, satisfies_cdg)
+        assert both(triangle_graph, (0, 1, 2))
+
+    def test_combined_fails_when_any_fails(self, star_graph):
+        both = combine(satisfies_cdg, satisfies_consecutive_events)
+        assert not both(star_graph, (0, 2))  # consecutive restriction broken

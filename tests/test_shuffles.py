@@ -1,0 +1,126 @@
+"""Tests for the randomized reference models."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.temporal_graph import TemporalGraph
+from repro.randomization.shuffles import (
+    link_shuffle,
+    motif_zscore,
+    permuted_timestamps,
+    shuffle_interevent_times,
+    snapshot_shuffle,
+)
+
+
+@pytest.fixture
+def graph() -> TemporalGraph:
+    return TemporalGraph.from_tuples(
+        [(0, 1, 0), (0, 1, 10), (1, 2, 15), (2, 0, 30), (1, 2, 45), (0, 1, 60)]
+    )
+
+
+class TestPermutedTimestamps:
+    def test_preserves_timestamp_multiset(self, graph):
+        shuffled = permuted_timestamps(graph, seed=0)
+        assert sorted(shuffled.times) == sorted(graph.times)
+
+    def test_preserves_edge_multiset(self, graph):
+        shuffled = permuted_timestamps(graph, seed=0)
+        assert Counter(ev.edge for ev in shuffled.events) == Counter(
+            ev.edge for ev in graph.events
+        )
+
+    def test_deterministic_with_seed(self, graph):
+        assert permuted_timestamps(graph, seed=5).events == permuted_timestamps(
+            graph, seed=5
+        ).events
+
+
+class TestLinkShuffle:
+    def test_preserves_per_edge_time_lists_as_multiset(self, graph):
+        shuffled = link_shuffle(graph, seed=1)
+        original_lists = sorted(
+            tuple(graph.times[i] for i in idxs)
+            for idxs in graph.edge_events.values()
+        )
+        shuffled_lists = sorted(
+            tuple(shuffled.times[i] for i in idxs)
+            for idxs in shuffled.edge_events.values()
+        )
+        assert original_lists == shuffled_lists
+
+    def test_preserves_event_count(self, graph):
+        assert len(link_shuffle(graph, seed=2)) == len(graph)
+
+    def test_edges_are_original_edges(self, graph):
+        shuffled = link_shuffle(graph, seed=3)
+        assert set(shuffled.static_edges()) == set(graph.static_edges())
+
+
+class TestIntereventShuffle:
+    def test_preserves_per_edge_counts(self, graph):
+        shuffled = shuffle_interevent_times(graph, seed=4)
+        assert {
+            e: len(v) for e, v in shuffled.edge_events.items()
+        } == {e: len(v) for e, v in graph.edge_events.items()}
+
+    def test_preserves_first_activation_and_gap_multiset(self, graph):
+        shuffled = shuffle_interevent_times(graph, seed=4)
+        for edge, idxs in graph.edge_events.items():
+            orig = [graph.times[i] for i in idxs]
+            new = [shuffled.times[i] for i in shuffled.edge_events[edge]]
+            assert new[0] == orig[0]
+            orig_gaps = sorted(b - a for a, b in zip(orig, orig[1:]))
+            new_gaps = sorted(b - a for a, b in zip(new, new[1:]))
+            assert orig_gaps == pytest.approx(new_gaps)
+
+
+class TestSnapshotShuffle:
+    def test_events_stay_in_their_bin(self, graph):
+        shuffled = snapshot_shuffle(graph, bin_width=20, seed=5)
+        orig_bins = sorted(int(ev.t // 20) for ev in graph.events)
+        new_bins = sorted(int(ev.t // 20) for ev in shuffled.events)
+        assert orig_bins == new_bins
+
+    def test_rejects_bad_bin_width(self, graph):
+        with pytest.raises(ValueError):
+            snapshot_shuffle(graph, bin_width=0)
+
+
+class TestZScores:
+    def test_positive_when_overrepresented(self):
+        observed = {"010101": 10}
+        nulls = [{"010101": 2}, {"010101": 4}, {"010101": 3}]
+        z = motif_zscore(observed, nulls)
+        assert z["010101"] > 0
+
+    def test_zero_std_handling(self):
+        observed = {"a": 5, "b": 3, "c": 1}
+        nulls = [{"a": 5, "b": 1, "c": 2}, {"a": 5, "b": 1, "c": 2}]
+        z = motif_zscore(observed, nulls)
+        assert z["a"] == 0.0
+        assert z["b"] == float("inf")
+        assert z["c"] == float("-inf")
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            motif_zscore({"a": 1}, [])
+
+    def test_loose_null_flags_everything(self, small_sms):
+        """The paper's negative result: against a timestamp permutation,
+        bursty motifs look wildly significant."""
+        from repro.algorithms.counting import count_motifs
+        from repro.core.constraints import TimingConstraints
+
+        constraints = TimingConstraints.only_c(300)
+        g = small_sms.head(600)
+        observed = count_motifs(g, 2, constraints, max_nodes=2)
+        nulls = [
+            count_motifs(permuted_timestamps(g, seed=s), 2, constraints, max_nodes=2)
+            for s in range(3)
+        ]
+        z = motif_zscore(observed, nulls)
+        # the two-node repetition motif is heavily amplified by burstiness
+        assert z.get("0101", 0) > 2

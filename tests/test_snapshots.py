@@ -1,0 +1,101 @@
+"""Tests for the snapshot-sequence representation."""
+
+import pytest
+
+from repro.core.snapshots import (
+    edge_persistence,
+    iter_active_snapshots,
+    resolution_collision_rate,
+    snapshot_activity_profile,
+    snapshot_sequence,
+)
+from repro.core.temporal_graph import TemporalGraph
+
+
+@pytest.fixture
+def graph() -> TemporalGraph:
+    return TemporalGraph.from_tuples(
+        [
+            (0, 1, 0), (1, 2, 5),        # bin 0
+            (0, 1, 12),                  # bin 1: edge (0,1) persists
+            # bin 2 empty
+            (2, 0, 35),                  # bin 3
+        ]
+    )
+
+
+class TestSnapshotSequence:
+    def test_bin_count_and_alignment(self, graph):
+        snaps = snapshot_sequence(graph, width=10)
+        assert len(snaps) == 4
+        assert snaps[0].t_start == 0
+        assert snaps[3].t_end == 40
+
+    def test_edges_per_bin(self, graph):
+        snaps = snapshot_sequence(graph, width=10)
+        assert snaps[0].edges == {(0, 1), (1, 2)}
+        assert snaps[1].edges == {(0, 1)}
+        assert snaps[2].edges == frozenset()
+        assert snaps[3].edges == {(2, 0)}
+
+    def test_event_counts(self, graph):
+        snaps = snapshot_sequence(graph, width=10)
+        assert [s.n_events for s in snaps] == [2, 1, 0, 1]
+
+    def test_nodes_accessor(self, graph):
+        snaps = snapshot_sequence(graph, width=10)
+        assert snaps[0].nodes == {0, 1, 2}
+        assert snaps[2].nodes == set()
+
+    def test_empty_graph(self):
+        assert snapshot_sequence(TemporalGraph([]), width=10) == []
+
+    def test_rejects_bad_width(self, graph):
+        with pytest.raises(ValueError):
+            snapshot_sequence(graph, width=0)
+
+    def test_active_iterator_skips_empty(self, graph):
+        active = list(iter_active_snapshots(graph, width=10))
+        assert [s.index for s in active] == [0, 1, 3]
+
+
+class TestPersistence:
+    def test_persistent_edge_detected(self, graph):
+        # bin1 repeats (0,1) from bin0 (fraction 1); bin3 shares nothing
+        # with bin1 (fraction 0) -> mean 0.5
+        assert edge_persistence(graph, width=10) == pytest.approx(0.5)
+
+    def test_no_persistence_for_single_snapshot(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0), (1, 2, 3)])
+        assert edge_persistence(g, width=100) == 0.0
+
+    def test_repetitive_network_is_persistent(self):
+        g = TemporalGraph.from_tuples(
+            [(0, 1, float(t)) for t in range(0, 100, 5)]
+        )
+        assert edge_persistence(g, width=10) == 1.0
+
+
+class TestProfiles:
+    def test_activity_profile(self, graph):
+        assert snapshot_activity_profile(graph, width=10) == [2, 1, 0, 1]
+
+    def test_collision_rate_zero_at_fine_resolution(self, graph):
+        assert resolution_collision_rate(graph, resolution=1) == 0.0
+
+    def test_collision_rate_grows_with_resolution(self, small_sms):
+        fine = resolution_collision_rate(small_sms, resolution=1)
+        coarse = resolution_collision_rate(small_sms, resolution=300)
+        assert coarse >= fine
+
+    def test_collision_rate_empty(self):
+        assert resolution_collision_rate(TemporalGraph([]), resolution=10) == 0.0
+
+    def test_message_network_collides_more_than_sparse(
+        self, small_sms, small_bitcoin
+    ):
+        """The Table-4 preamble mechanism: dense message traffic collides
+        at 300 s; sparse ratings barely do."""
+        assert resolution_collision_rate(
+            small_sms, 300
+        ) > resolution_collision_rate(small_bitcoin, 300)

@@ -1,0 +1,52 @@
+"""Tests for dataset statistics (Table 2 building blocks)."""
+
+from repro.core.temporal_graph import TemporalGraph
+from repro.datasets.statistics import compute_stats, stats_table
+
+
+class TestComputeStats:
+    def test_basic_counts(self, triangle_graph):
+        stats = compute_stats(triangle_graph, name="tri")
+        assert stats.name == "tri"
+        assert stats.nodes == 3
+        assert stats.events == 3
+        assert stats.edges == 3
+        assert stats.unique_timestamps == 3
+        assert stats.unique_ts_fraction == 1.0
+
+    def test_duplicate_timestamps(self):
+        g = TemporalGraph.from_tuples([(0, 1, 5), (1, 2, 5), (2, 0, 9)])
+        stats = compute_stats(g)
+        assert stats.unique_timestamps == 2
+        assert stats.unique_ts_fraction == 1 / 3
+
+    def test_median_interevent(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0), (0, 1, 4), (0, 1, 100)])
+        assert compute_stats(g).median_interevent == (4 + 96) / 2
+
+    def test_name_falls_back_to_graph_name(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0)], name="named")
+        assert compute_stats(g).name == "named"
+
+    def test_as_row_shape(self, triangle_graph):
+        row = compute_stats(triangle_graph, name="x").as_row()
+        assert len(row) == 7
+
+
+class TestStatsTable:
+    def test_renders_all_rows(self, triangle_graph, star_graph):
+        stats = [
+            compute_stats(triangle_graph, name="tri"),
+            compute_stats(star_graph, name="star"),
+        ]
+        text = stats_table(stats)
+        assert "tri" in text
+        assert "star" in text
+        assert "m(Δt)" in text
+
+    def test_compact_formats(self):
+        g = TemporalGraph.from_tuples(
+            [(i % 97, (i + 1) % 97, float(i)) for i in range(1500)]
+        )
+        text = stats_table([compute_stats(g, name="big")])
+        assert "1.50K" in text

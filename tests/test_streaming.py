@@ -1,0 +1,135 @@
+"""Tests for the streaming event-pattern matcher."""
+
+import pytest
+
+from repro.algorithms.pattern import EventPattern, PatternEvent, chain_pattern
+from repro.algorithms.streaming import Match, StreamMatcher, match_graph
+from repro.core.events import Event
+from repro.core.temporal_graph import TemporalGraph
+
+
+class TestBasics:
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            StreamMatcher(chain_pattern(2), 0)
+
+    def test_single_event_pattern(self):
+        matcher = StreamMatcher(
+            EventPattern(events=[PatternEvent("A", "B")]), delta_w=10
+        )
+        matches = matcher.push(Event(0, 1, 5.0))
+        assert len(matches) == 1
+        assert matches[0].binding == {"A": 0, "B": 1}
+
+    def test_chain_match_emitted_on_completion(self):
+        matcher = StreamMatcher(chain_pattern(2), delta_w=100)
+        assert matcher.push(Event(0, 1, 0.0)) == []
+        matches = matcher.push(Event(1, 2, 10.0))
+        assert len(matches) == 1
+        assert matches[0].events == (Event(0, 1, 0.0), Event(1, 2, 10.0))
+        assert matches[0].timespan == 10.0
+
+    def test_emitted_counter(self):
+        matcher = StreamMatcher(chain_pattern(2), delta_w=100)
+        matcher.push(Event(0, 1, 0.0))
+        matcher.push(Event(1, 2, 10.0))
+        assert matcher.emitted == 1
+
+
+class TestWindow:
+    def test_expired_partials_never_complete(self):
+        matcher = StreamMatcher(chain_pattern(2), delta_w=5)
+        matcher.push(Event(0, 1, 0.0))
+        assert matcher.push(Event(1, 2, 10.0)) == []
+
+    def test_window_boundary_inclusive(self):
+        matcher = StreamMatcher(chain_pattern(2), delta_w=10)
+        matcher.push(Event(0, 1, 0.0))
+        assert len(matcher.push(Event(1, 2, 10.0))) == 1
+
+    def test_live_partials_pruned(self):
+        matcher = StreamMatcher(chain_pattern(2), delta_w=5)
+        matcher.push(Event(0, 1, 0.0))
+        assert matcher.live_partials == 1
+        matcher.push(Event(5, 6, 100.0))
+        # the old partial expired; only the new event's partial remains
+        assert matcher.live_partials == 1
+
+
+class TestPartialOrder:
+    def test_unordered_events_match_in_any_order(self):
+        pattern = EventPattern(
+            events=[PatternEvent("A", "B"), PatternEvent("A", "C")], order=[]
+        )
+        matcher = StreamMatcher(pattern, delta_w=100)
+        matcher.push(Event(0, 2, 0.0))   # binds A→C first
+        matches = matcher.push(Event(0, 1, 5.0))
+        # the pattern is symmetric in (B, C), so both automorphic
+        # assignments are reported
+        assert len(matches) == 2
+        assert {tuple(sorted(m.binding.values())) for m in matches} == {(0, 1, 2)}
+
+    def test_ordered_events_must_arrive_in_order(self):
+        pattern = EventPattern(
+            events=[PatternEvent("A", "B"), PatternEvent("B", "C")],
+            order=[(0, 1)],
+        )
+        matcher = StreamMatcher(pattern, delta_w=100)
+        matcher.push(Event(1, 2, 0.0))   # only A→B may start a match
+        matches = matcher.push(Event(0, 1, 5.0))
+        assert matches == []
+        # correct order succeeds
+        fresh = StreamMatcher(pattern, delta_w=100)
+        fresh.push(Event(0, 1, 0.0))
+        assert len(fresh.push(Event(1, 2, 5.0))) == 1
+
+
+class TestOverlappingMatches:
+    def test_all_combinations_reported(self):
+        """Two candidate first events × one closer = two matches."""
+        matcher = StreamMatcher(chain_pattern(2), delta_w=100)
+        matcher.push(Event(0, 1, 0.0))
+        matcher.push(Event(5, 1, 1.0))  # also ends at node 1? no: (5,1) is A=5,B=1
+        matches = matcher.push(Event(1, 2, 10.0))
+        assert len(matches) == 2
+
+    def test_load_shedding_cap(self):
+        matcher = StreamMatcher(chain_pattern(2), delta_w=1e9, max_partials=3)
+        for k in range(10):
+            matcher.push(Event(2 * k + 10, 2 * k + 11, float(k)))
+        assert matcher.live_partials <= 3
+
+
+class TestMatchGraph:
+    def test_match_graph_finds_chains(self):
+        g = TemporalGraph.from_tuples([(0, 1, 0), (1, 2, 5), (2, 3, 9)])
+        matches = match_graph(g, chain_pattern(2), delta_w=100)
+        assert len(matches) == 2  # (0→1,1→2) and (1→2,2→3)
+
+    def test_match_is_dataclass_with_time_accessors(self):
+        g = TemporalGraph.from_tuples([(0, 1, 3), (1, 2, 7)])
+        match = match_graph(g, chain_pattern(2), delta_w=100)[0]
+        assert isinstance(match, Match)
+        assert match.t_first == 3
+        assert match.t_last == 7
+
+    def test_agrees_with_song_model_counts(self, small_sms):
+        """Streaming convey-chain matches == enumerated 011x convey counts."""
+        from repro.algorithms.enumeration import enumerate_instances
+        from repro.core.constraints import TimingConstraints
+        from repro.core.eventpairs import PairType, pair_sequence_of_events
+
+        g = small_sms.head(300)
+        delta_w = 900
+        stream_count = 0
+        for match in match_graph(g, chain_pattern(2, total=True), delta_w):
+            if match.events[1].t > match.events[0].t:  # strict order only
+                stream_count += 1
+        enum_count = 0
+        for inst in enumerate_instances(
+            g, 2, TimingConstraints.only_w(delta_w)
+        ):
+            events = [g.events[i] for i in inst]
+            if pair_sequence_of_events(events) == (PairType.CONVEY,):
+                enum_count += 1
+        assert stream_count == enum_count

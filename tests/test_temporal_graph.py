@@ -1,0 +1,157 @@
+"""Unit tests for repro.core.temporal_graph."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.temporal_graph import TemporalGraph
+
+
+@pytest.fixture
+def graph() -> TemporalGraph:
+    return TemporalGraph.from_tuples(
+        [(0, 1, 10), (1, 2, 20), (0, 1, 30), (2, 0, 40), (1, 2, 40)]
+    )
+
+
+class TestConstruction:
+    def test_events_sorted(self):
+        g = TemporalGraph.from_tuples([(0, 1, 50), (1, 2, 10)])
+        assert [ev.t for ev in g.events] == [10, 50]
+
+    def test_len(self, graph):
+        assert len(graph) == 5
+
+    def test_nodes(self, graph):
+        assert graph.nodes == {0, 1, 2}
+
+    def test_num_edges_counts_directed_pairs(self, graph):
+        # (0,1) twice counts once; (1,2) twice counts once; (2,0) once.
+        assert graph.num_edges == 3
+
+    def test_timespan(self, graph):
+        assert graph.timespan == 30
+
+    def test_empty_graph(self):
+        g = TemporalGraph([])
+        assert len(g) == 0
+        assert g.timespan == 0.0
+        assert g.nodes == set()
+
+    def test_iteration_yields_events(self, graph):
+        assert all(isinstance(ev, Event) for ev in graph)
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            TemporalGraph.from_tuples([(1, 1, 0)])
+
+
+class TestIndices:
+    def test_node_events_cover_both_endpoints(self, graph):
+        # ties at t=40 sort (1,2,40) before (2,0,40)
+        assert graph.node_events[0] == [0, 2, 4]
+        assert graph.node_events[2] == [1, 3, 4]
+
+    def test_node_times_parallel(self, graph):
+        for node in graph.nodes:
+            idxs = graph.node_events[node]
+            assert graph.node_times[node] == [graph.times[i] for i in idxs]
+
+    def test_edge_events(self, graph):
+        assert graph.edge_events[(0, 1)] == [0, 2]
+        assert graph.edge_events[(2, 0)] == [4]
+
+    def test_edge_times_sorted(self, graph):
+        for times in graph.edge_times.values():
+            assert times == sorted(times)
+
+
+class TestWindowQueries:
+    def test_node_events_in_closed_window(self, graph):
+        assert graph.node_events_in(0, 10, 30) == [0, 2]
+        assert graph.node_events_in(0, 10, 40) == [0, 2, 4]
+
+    def test_node_events_in_unknown_node(self, graph):
+        assert graph.node_events_in(99, 0, 100) == []
+
+    def test_count_node_events_in(self, graph):
+        assert graph.count_node_events_in(1, 10, 40) == 4
+        assert graph.count_node_events_in(1, 11, 19) == 0
+
+    def test_edge_events_in(self, graph):
+        assert graph.edge_events_in((1, 2), 20, 40) == [1, 3]
+        assert graph.edge_events_in((1, 2), 21, 39) == []
+
+    def test_count_edge_events_in_unknown_edge(self, graph):
+        assert graph.count_edge_events_in((9, 9), 0, 100) == 0
+
+    def test_events_in(self, graph):
+        assert graph.events_in(20, 40) == [1, 2, 3, 4]
+        assert graph.events_in(41, 99) == []
+
+
+class TestStaticProjection:
+    def test_static_edges(self, graph):
+        assert graph.static_edges() == {(0, 1), (1, 2), (2, 0)}
+
+    def test_static_neighbors(self, graph):
+        assert graph.static_neighbors(0) == {1, 2}
+        assert graph.static_neighbors(1) == {0, 2}
+
+    def test_induced_static_edges_subset(self, graph):
+        assert graph.induced_static_edges([0, 1]) == {(0, 1)}
+        assert graph.induced_static_edges([0, 1, 2]) == graph.static_edges()
+
+    def test_induced_static_edges_empty(self, graph):
+        assert graph.induced_static_edges([7, 8]) == set()
+
+
+class TestTransformations:
+    def test_slice_keeps_closed_window(self, graph):
+        sliced = graph.slice(20, 40)
+        assert len(sliced) == 4
+        assert sliced.times[0] == 20
+
+    def test_head(self, graph):
+        assert len(graph.head(2)) == 2
+
+    def test_degrade_resolution_floors_times(self, graph):
+        degraded = graph.degrade_resolution(25)
+        assert set(degraded.times) == {0, 25}
+
+    def test_degrade_resolution_preserves_counts(self, graph):
+        assert len(graph.degrade_resolution(300)) == len(graph)
+
+    def test_degrade_resolution_rejects_nonpositive(self, graph):
+        with pytest.raises(ValueError):
+            graph.degrade_resolution(0)
+
+    def test_filter_events(self, graph):
+        only_01 = graph.filter_events(lambda ev: ev.edge == (0, 1))
+        assert len(only_01) == 2
+
+    def test_relabeled_first_appearance_order(self):
+        g = TemporalGraph.from_tuples([(7, 3, 1), (3, 9, 2)])
+        r = g.relabeled()
+        assert [ev.edge for ev in r.events] == [(0, 1), (1, 2)]
+
+    def test_relabeled_preserves_times(self, graph):
+        assert graph.relabeled().times == graph.times
+
+
+class TestStatistics:
+    def test_unique_timestamps(self, graph):
+        assert graph.unique_timestamps() == 4  # 10, 20, 30, 40 (40 twice)
+
+    def test_unique_timestamp_fraction(self, graph):
+        # 3 of 5 events have a timestamp shared with no other event.
+        assert graph.unique_timestamp_fraction() == pytest.approx(3 / 5)
+
+    def test_unique_timestamp_fraction_empty(self):
+        assert TemporalGraph([]).unique_timestamp_fraction() == 0.0
+
+    def test_median_interevent_time(self, graph):
+        # gaps: 10, 10, 10, 0 -> sorted 0,10,10,10 -> median 10
+        assert graph.median_interevent_time() == 10
+
+    def test_median_interevent_single_event(self):
+        assert TemporalGraph.from_tuples([(0, 1, 5)]).median_interevent_time() == 0.0

@@ -1,0 +1,81 @@
+"""Tests for ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.textplot import (
+    bar_chart,
+    heatmap,
+    histogram,
+    pair_heatmap,
+    pie_text,
+    table,
+)
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart(["a", "b"], [10, 5], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title(self):
+        assert bar_chart(["a"], [1], title="T").splitlines()[0] == "T"
+
+    def test_empty(self):
+        assert "(empty)" in bar_chart([], [])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_all_zero_values(self):
+        text = bar_chart(["a"], [0])
+        assert "#" not in text
+
+
+class TestHistogram:
+    def test_renders_bin_labels(self):
+        edges = np.array([0.0, 5.0, 10.0])
+        counts = np.array([3, 1])
+        text = histogram(edges, counts)
+        assert "[0,5)" in text
+        assert "[5,10)" in text
+
+
+class TestHeatmap:
+    def test_shape_and_labels(self):
+        m = np.array([[1.0, 0.0], [0.5, 1.0]])
+        text = heatmap(m, row_labels=["x", "y"], col_labels=["p", "q"])
+        assert "x" in text and "q" in text
+
+    def test_zero_cells_blank(self):
+        m = np.array([[1.0, 0.0]])
+        lines = heatmap(m).splitlines()
+        # last row: label + dark cell + blank cell
+        assert lines[-1].rstrip().endswith("@@") or "  " in lines[-1]
+
+    def test_pair_heatmap_axes(self):
+        text = pair_heatmap(np.zeros((6, 6)))
+        for letter in "RPIOCW":
+            assert letter in text
+
+
+class TestTable:
+    def test_alignment_and_content(self):
+        text = table(("A", "Blong"), [("1", "2"), ("333", "4")], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_non_string_cells(self):
+        text = table(("n",), [(42,)])
+        assert "42" in text
+
+
+class TestPieText:
+    def test_percentages(self):
+        text = pie_text({"R": 0.5, "P": 0.5})
+        assert "50.0%" in text
