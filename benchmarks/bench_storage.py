@@ -1,0 +1,139 @@
+"""Storage-engine kernel benchmarks: construction, window queries, census.
+
+Compares every registered backend on the three kernels the storage
+contract was designed around:
+
+* **construction** — indexing a pre-validated 100k-event generated stream
+  (the acceptance bar of the storage PR: columnar ≥ 1.5× faster than the
+  plain-list reference);
+* **window query** — per-node closed-window bisections, the restriction
+  checkers' hot path;
+* **census** — an end-to-end 3-event motif census through the enumeration
+  engine, exercising the half-open candidate query.
+
+Run under pytest-benchmark like the other kernels, or standalone for a
+quick comparison table::
+
+    PYTHONPATH=src python benchmarks/bench_storage.py
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.algorithms.counting import run_census
+from repro.core.constraints import TimingConstraints
+from repro.datasets.generators import ActivityConfig, generate
+from repro.datasets.registry import get_dataset
+from repro.storage import available_backends, get_backend
+
+BACKENDS = tuple(available_backends())
+
+#: A SNAP-ish 100k-event stream: heavy reactions, realistic node reuse.
+STREAM_CONFIG = ActivityConfig(
+    n_nodes=5_000,
+    n_events=100_000,
+    timespan=1_000_000.0,
+    p_reply=0.3,
+    p_repeat=0.2,
+    p_cc=0.2,
+    p_forward=0.15,
+    p_in_burst=0.1,
+)
+
+CONSTRAINTS = TimingConstraints(delta_c=1500, delta_w=3000)
+
+
+@pytest.fixture(scope="module")
+def stream_events():
+    return generate(STREAM_CONFIG, seed=42).events
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_construction_100k(benchmark, stream_events, backend):
+    cls = get_backend(backend)
+    storage = benchmark(lambda: cls.from_events(stream_events, presorted=True))
+    assert len(storage) == len(stream_events)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_node_window_queries(benchmark, stream_events, backend):
+    storage = get_backend(backend).from_events(stream_events, presorted=True)
+    nodes = sorted(storage.nodes)[:2_000]
+    t0 = storage.start_time
+    span = storage.end_time - t0
+
+    def sweep() -> int:
+        total = 0
+        for i, node in enumerate(nodes):
+            lo = t0 + (i % 10) * span / 10
+            total += storage.count_node_events_in(node, lo, lo + span / 10)
+            total += len(storage.node_events_between(node, lo, lo + span / 20))
+        return total
+
+    assert benchmark(sweep) > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_census_small_sms(benchmark, backend):
+    graph = get_dataset("sms-copenhagen", scale=0.25).with_backend(backend)
+    census = benchmark(
+        lambda: run_census(graph, 3, CONSTRAINTS, max_nodes=3)
+    )
+    assert census.total > 0
+
+
+def _best_of(fn, rounds: int = 5) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def compare(n_events: int = STREAM_CONFIG.n_events) -> dict[str, dict[str, float]]:
+    """Best-of-5 kernel seconds per backend (standalone comparison table)."""
+    config = replace(STREAM_CONFIG, n_events=n_events)
+    events = generate(config, seed=42).events
+    sms = get_dataset("sms-copenhagen", scale=0.25)
+    out: dict[str, dict[str, float]] = {}
+    for backend in BACKENDS:
+        cls = get_backend(backend)
+        storage = cls.from_events(events, presorted=True)
+        nodes = sorted(storage.nodes)[:2_000]
+        t0 = storage.start_time
+        span = storage.end_time - t0
+        graph = sms.with_backend(backend)
+        out[backend] = {
+            "construct": _best_of(
+                lambda: cls.from_events(events, presorted=True)
+            ),
+            "window": _best_of(
+                lambda: [
+                    storage.count_node_events_in(n, t0, t0 + span / 10)
+                    for n in nodes
+                ]
+            ),
+            "census": _best_of(
+                lambda: run_census(graph, 3, CONSTRAINTS, max_nodes=3), rounds=3
+            ),
+        }
+    return out
+
+
+def main() -> None:  # pragma: no cover - manual tool
+    results = compare()
+    kernels = ("construct", "window", "census")
+    print(f"{'backend':<10}" + "".join(f"{k:>12}" for k in kernels))
+    for backend, row in results.items():
+        print(f"{backend:<10}" + "".join(f"{row[k] * 1000:>10.1f}ms" for k in kernels))
+    ratio = results["list"]["construct"] / results["columnar"]["construct"]
+    print(f"\ncolumnar construction speedup over list: {ratio:.2f}x (target >= 1.5x)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -13,12 +13,20 @@ Quickstart::
 
 Package map:
 
-* :mod:`repro.core` — events, temporal graphs, motif notation, event
-  pairs, timing constraints;
+* :mod:`repro.core` — events, the :class:`TemporalGraph` facade, motif
+  notation, event pairs, timing constraints;
+* :mod:`repro.storage` — pluggable index/query engines behind the graph
+  facade: the :class:`~repro.storage.GraphStorage` contract, the
+  plain-list reference backend, and a columnar (flat ``array`` + CSR
+  offsets) backend; select per graph via ``backend=`` or globally via the
+  ``REPRO_STORAGE`` environment variable;
 * :mod:`repro.models` — the four surveyed motif models;
-* :mod:`repro.algorithms` — enumeration, restrictions, counting,
-  streaming pattern matching, cycles, sampling;
-* :mod:`repro.datasets` — synthetic dataset generators and the registry;
+* :mod:`repro.algorithms` — enumeration, restrictions, counting, the
+  fast two-node counter, streaming pattern matching (including
+  :func:`~repro.algorithms.streaming.match_live` against a growing
+  graph), cycles, sampling;
+* :mod:`repro.datasets` — synthetic dataset generators, the named
+  registry, and (gzip-aware, streaming) event-list I/O;
 * :mod:`repro.randomization` — shuffling null models;
 * :mod:`repro.analysis` — rankings, proportions, histograms, heat maps;
 * :mod:`repro.experiments` — one module per paper table/figure
@@ -32,6 +40,7 @@ from repro.algorithms import (
     enumerate_instances,
     run_census,
 )
+from repro.storage import ColumnarStorage, GraphStorage, ListStorage
 from repro.core import (
     ConstraintRegime,
     Event,
@@ -55,10 +64,13 @@ from repro.models import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ColumnarStorage",
     "ConstraintRegime",
     "Event",
+    "GraphStorage",
     "HulovatyyModel",
     "KovanenModel",
+    "ListStorage",
     "Motif",
     "MotifCensus",
     "PairType",

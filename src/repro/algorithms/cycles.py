@@ -10,12 +10,11 @@ motivate non-induced motifs with.
 
 :func:`enumerate_temporal_cycles` is a Johnson-inspired DFS that follows
 *convey* steps (source of the next event = target of the previous) with
-time-window pruning via the graph's per-node indices.
+time-window pruning via the storage engine's per-node window queries.
 """
 
 from __future__ import annotations
 
-import bisect
 from typing import Iterator, Sequence
 
 from repro.core.temporal_graph import TemporalGraph
@@ -86,13 +85,11 @@ def _outgoing_after(
     graph: TemporalGraph, node: int, t_after: float, deadline: float
 ) -> list[int]:
     """Indices of events *from* ``node`` with ``t_after < t <= deadline``."""
-    tlist = graph.node_times.get(node)
-    if not tlist:
-        return []
-    lo = bisect.bisect_right(tlist, t_after)
-    hi = bisect.bisect_right(tlist, deadline)
+    events = graph.events
     return [
-        idx for idx in graph.node_events[node][lo:hi] if graph.events[idx].u == node
+        idx
+        for idx in graph.storage.node_events_between(node, t_after, deadline)
+        if events[idx].u == node
     ]
 
 

@@ -12,15 +12,16 @@ such that
   consecutive gaps ≤ ΔC and whole span ≤ ΔW, whichever are set.
 
 The engine is a DFS over growing suffixes.  Candidate events for the next
-position are generated by bisecting the per-node adjacency lists of the
-nodes already in the motif over the admissible time window — this keeps the
-work proportional to the number of *extensible* events rather than the
-whole stream.
+position are generated through the graph's storage engine
+(:meth:`~repro.storage.base.GraphStorage.node_events_between`): each node
+already in the motif is asked for its events in the admissible half-open
+window — this keeps the work proportional to the number of *extensible*
+events rather than the whole stream, and lets columnar backends answer
+from flat offset indices without materializing per-node lists.
 """
 
 from __future__ import annotations
 
-import bisect
 from typing import Callable, Iterator, Sequence
 
 from repro.core.constraints import TimingConstraints
@@ -74,8 +75,7 @@ def enumerate_instances(
         raise ValueError("n_events must be >= 1")
     events = graph.events
     times = graph.times
-    node_times = graph.node_times
-    node_events = graph.node_events
+    node_events_between = graph.storage.node_events_between
     node_cap = n_events + 1 if max_nodes is None else max_nodes
     yielded = 0
 
@@ -100,7 +100,7 @@ def enumerate_instances(
             t_last = times[seq[-1]]
             deadline = constraints.next_event_deadline(t_root, t_last)
             candidates = _adjacent_after(
-                node_times, node_events, nodes, t_last, deadline
+                node_events_between, nodes, t_last, deadline
             )
             for idx in candidates:
                 ev = events[idx]
@@ -128,29 +128,23 @@ def enumerate_instances(
 
 
 def _adjacent_after(
-    node_times: dict[int, list[float]],
-    node_events: dict[int, list[int]],
+    node_events_between: Callable[[int, float, float], list[int]],
     nodes: Sequence[int],
     t_last: float,
     deadline: float,
 ) -> list[int]:
     """Event indices adjacent to any node in ``nodes`` with ``t_last < t <= deadline``.
 
-    Strict lower bound enforces the total ordering (no equal timestamps in
-    one motif).  The result is deduplicated (an event touching two motif
-    nodes appears in two adjacency lists) and sorted for determinism.
+    The strict lower bound of the storage engine's half-open window query
+    enforces the total ordering (no equal timestamps in one motif).  The
+    result is deduplicated (an event touching two motif nodes appears in
+    two adjacency lists) and sorted for determinism.
     """
     if deadline <= t_last:
         return []
     found: set[int] = set()
     for node in nodes:
-        tlist = node_times.get(node)
-        if not tlist:
-            continue
-        lo = bisect.bisect_right(tlist, t_last)
-        hi = bisect.bisect_right(tlist, deadline)
-        if hi > lo:
-            found.update(node_events[node][lo:hi])
+        found.update(node_events_between(node, t_last, deadline))
     return sorted(found)
 
 

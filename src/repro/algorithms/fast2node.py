@@ -78,12 +78,14 @@ def _pair_streams(
     if pairs is not None:
         wanted = {(min(u, v), max(u, v)) for u, v in pairs}
     streams: dict[tuple[int, int], list[tuple[float, int]]] = defaultdict(list)
-    for ev in graph.events:
-        lo, hi = (ev.u, ev.v) if ev.u < ev.v else (ev.v, ev.u)
+    # Read through the storage facade: columnar backends stream (u, v, t)
+    # straight from their flat columns, list backends unpack event records.
+    for u, v, t in graph.storage.iter_uvt():
+        lo, hi = (u, v) if u < v else (v, u)
         if wanted is not None and (lo, hi) not in wanted:
             continue
-        direction = 0 if ev.u == lo else 1
-        streams[(lo, hi)].append((ev.t, direction))
+        direction = 0 if u == lo else 1
+        streams[(lo, hi)].append((t, direction))
     for stream in streams.values():
         stream.sort()
     return streams

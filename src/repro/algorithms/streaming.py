@@ -12,8 +12,11 @@ incremental-join strategy from complex event processing:
 
 The matcher is deliberately oblivious to how events are produced — feed it
 from a :class:`~repro.core.temporal_graph.TemporalGraph` via
-:func:`match_graph` or push events one at a time via
-:meth:`StreamMatcher.push`.
+:func:`match_graph`, push events one at a time via
+:meth:`StreamMatcher.push`, or co-maintain a *live, growing* graph with
+:func:`match_live`, which appends each arriving event to the graph's
+storage engine (stable indices, non-decreasing time) and matches it in the
+same pass.
 """
 
 from __future__ import annotations
@@ -72,9 +75,9 @@ class StreamMatcher:
         Window bounding a whole match, first bound event to last.
     max_partials:
         Safety valve: when the number of live partial matches exceeds this,
-        the oldest are dropped (a standard CEP load-shedding policy).  The
-        default is generous enough for the library's workloads; ``None``
-        disables shedding.
+        the oldest are dropped (a standard CEP load-shedding policy) and
+        counted in :attr:`shed`.  The default is generous enough for the
+        library's workloads; ``None`` disables shedding.
     """
 
     def __init__(
@@ -91,6 +94,7 @@ class StreamMatcher:
         self.max_partials = max_partials
         self._partials: list[_Partial] = []
         self._emitted = 0
+        self._shed = 0
 
     @property
     def live_partials(self) -> int:
@@ -101,6 +105,16 @@ class StreamMatcher:
     def emitted(self) -> int:
         """Total matches emitted so far."""
         return self._emitted
+
+    @property
+    def shed(self) -> int:
+        """Partial matches dropped by the ``max_partials`` load-shedding valve.
+
+        A non-zero value means results are *lossy*: matches whose prefix
+        was shed are silently missed, so monitor this counter whenever the
+        valve is enabled on real workloads.
+        """
+        return self._shed
 
     def push(self, event: Event) -> list[Match]:
         """Feed one event (non-decreasing timestamps); return new matches."""
@@ -146,6 +160,7 @@ class StreamMatcher:
                     )
         self._partials.extend(new_partials)
         if self.max_partials is not None and len(self._partials) > self.max_partials:
+            self._shed += len(self._partials) - self.max_partials
             self._partials = self._partials[-self.max_partials:]
         self._emitted += len(out)
         return out
@@ -167,3 +182,49 @@ def match_graph(
     """All matches of ``pattern`` in a temporal graph, via the stream path."""
     matcher = StreamMatcher(pattern, delta_w)
     return list(matcher.drain(graph.events))
+
+
+def match_live(
+    graph: TemporalGraph,
+    pattern: EventPattern | StreamMatcher,
+    delta_w: float | None = None,
+    events: Iterable[Event] = (),
+) -> Iterator[tuple[int, list[Match]]]:
+    """Feed a live stream into a *growing* graph and match in the same pass.
+
+    Each arriving event is appended to ``graph``'s storage engine (which
+    keeps every previously issued event index stable) and then pushed
+    through the matcher, so downstream consumers can resolve a match's
+    events against the graph the moment it is emitted — use
+    :meth:`TemporalGraph.event_at` for O(1) per-arrival resolution rather
+    than re-snapshotting ``graph.events`` each push.  Yields
+    ``(event_index, matches)`` per arrival — ``matches`` is often empty.
+
+    Parameters
+    ----------
+    graph:
+        The graph to grow.  May already hold history; incoming events must
+        not predate its last event (the storage append contract).
+    pattern:
+        An :class:`~repro.algorithms.pattern.EventPattern` (a fresh
+        matcher is created; ``delta_w`` required) or a ready
+        :class:`StreamMatcher` — pass the latter to resume a session or to
+        configure load shedding.
+    events:
+        The arriving stream, in non-decreasing time order.
+    """
+    if isinstance(pattern, StreamMatcher):
+        matcher = pattern
+        if delta_w is not None and delta_w != matcher.delta_w:
+            raise ValueError(
+                f"conflicting delta_w: the matcher was built with "
+                f"{matcher.delta_w}, got {delta_w} (pass one or the other)"
+            )
+    else:
+        if delta_w is None:
+            raise ValueError("delta_w is required when passing a bare pattern")
+        matcher = StreamMatcher(pattern, delta_w)
+    for event in events:
+        ev = event if isinstance(event, Event) else Event(*event)
+        idx = graph.append(ev)
+        yield idx, matcher.push(ev)

@@ -1,7 +1,9 @@
 """Indexed temporal graph: the substrate for all motif enumeration.
 
-The :class:`TemporalGraph` stores a time-sorted event list and maintains
-three indices the enumeration engine and the model restrictions depend on:
+The :class:`TemporalGraph` is a facade over a pluggable storage engine
+(:mod:`repro.storage`).  The engine owns the time-sorted event list and the
+three index families the enumeration engine and the model restrictions
+depend on:
 
 * per-node adjacency: for each node, the time-sorted list of indices of
   events that touch it (used for connected-growth candidate generation and
@@ -11,17 +13,21 @@ three indices the enumeration engine and the model restrictions depend on:
   dynamic graphlet restriction),
 * the static projection (used for static inducedness checks).
 
-All indices are plain Python lists of integers plus parallel lists of
-timestamps so that :mod:`bisect` can slice any time window in O(log m).
+Two backends ship with the library: ``"list"`` (the original plain-list
+indices — the default) and ``"columnar"`` (flat ``array`` columns with
+CSR offsets — cheaper to build, lighter in memory).  Select one per graph
+with ``backend=...`` or globally via the ``REPRO_STORAGE`` environment
+variable; every backend answers every query identically, which the parity
+test-suite enforces.
 """
 
 from __future__ import annotations
 
-import bisect
 from collections import defaultdict
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.events import Event, interevent_times, validate_events
+from repro.storage import GraphStorage, get_backend
 
 
 class TemporalGraph:
@@ -31,49 +37,95 @@ class TemporalGraph:
     ----------
     events:
         Iterable of :class:`Event` (or 3-tuples).  They are validated,
-        sorted by ``(t, u, v)``, and frozen.
+        sorted by ``(t, u, v)``, and handed to the storage engine.
     name:
         Optional label used by dataset registry and experiment reports.
+    backend:
+        Storage engine name (``"list"``, ``"columnar"``, or any name
+        registered with :func:`repro.storage.register_backend`).  ``None``
+        defers to the ``REPRO_STORAGE`` environment variable, then the
+        library default.  Transformations (:meth:`slice`, :meth:`head`,
+        ...) propagate the parent graph's backend.
 
     Notes
     -----
     Event *indices* (positions in :attr:`events`) are the universal handle
     throughout the library: enumerators yield tuples of indices, restriction
     checkers take tuples of indices, and counters convert indices to motif
-    codes.  Indices are stable because the event list is immutable.
+    codes.  Indices are stable because events only ever change through
+    :meth:`append`/:meth:`extend`, which admit strictly end-of-stream
+    events.
     """
 
-    def __init__(self, events: Iterable[Event], *, name: str = "") -> None:
-        self.events: tuple[Event, ...] = tuple(validate_events(events))
+    def __init__(
+        self,
+        events: Iterable[Event],
+        *,
+        name: str = "",
+        backend: str | None = None,
+    ) -> None:
+        cls = get_backend(backend)
+        self._storage: GraphStorage = cls.from_events(
+            validate_events(events), presorted=True
+        )
         self.name = name
-        self.times: list[float] = [ev.t for ev in self.events]
 
-        node_events: dict[int, list[int]] = defaultdict(list)
-        edge_events: dict[tuple[int, int], list[int]] = defaultdict(list)
-        for idx, ev in enumerate(self.events):
-            node_events[ev.u].append(idx)
-            if ev.v != ev.u:
-                node_events[ev.v].append(idx)
-            edge_events[ev.edge].append(idx)
+    @classmethod
+    def _from_storage(cls, storage: GraphStorage, *, name: str = "") -> "TemporalGraph":
+        """Wrap an existing storage engine without re-validating its events."""
+        graph = cls.__new__(cls)
+        graph._storage = storage
+        graph.name = name
+        return graph
 
-        #: node -> time-sorted event indices touching the node
-        self.node_events: dict[int, list[int]] = dict(node_events)
-        #: node -> timestamps parallel to :attr:`node_events` (bisect keys)
-        self.node_times: dict[int, list[float]] = {
-            node: [self.times[i] for i in idxs] for node, idxs in node_events.items()
-        }
-        #: directed edge -> time-sorted event indices on that edge
-        self.edge_events: dict[tuple[int, int], list[int]] = dict(edge_events)
-        #: directed edge -> timestamps parallel to :attr:`edge_events`
-        self.edge_times: dict[tuple[int, int], list[float]] = {
-            edge: [self.times[i] for i in idxs] for edge, idxs in edge_events.items()
-        }
+    # ------------------------------------------------------------------
+    # storage facade
+    # ------------------------------------------------------------------
+    @property
+    def storage(self) -> GraphStorage:
+        """The storage engine answering this graph's index queries."""
+        return self._storage
+
+    @property
+    def backend(self) -> str:
+        """Name of the storage backend serving this graph."""
+        return self._storage.backend_name
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        """Time-sorted events; position in this tuple is the event index."""
+        return self._storage.events
+
+    @property
+    def times(self) -> list[float]:
+        """Timestamps parallel to :attr:`events` (bisect keys)."""
+        return self._storage.times
+
+    @property
+    def node_events(self) -> Mapping[int, list[int]]:
+        """node -> time-sorted event indices touching the node."""
+        return self._storage.node_events
+
+    @property
+    def node_times(self) -> Mapping[int, list[float]]:
+        """node -> timestamps parallel to :attr:`node_events` (bisect keys)."""
+        return self._storage.node_times
+
+    @property
+    def edge_events(self) -> Mapping[tuple[int, int], list[int]]:
+        """directed edge -> time-sorted event indices on that edge."""
+        return self._storage.edge_events
+
+    @property
+    def edge_times(self) -> Mapping[tuple[int, int], list[float]]:
+        """directed edge -> timestamps parallel to :attr:`edge_events`."""
+        return self._storage.edge_times
 
     # ------------------------------------------------------------------
     # basic properties
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._storage)
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self.events)
@@ -82,29 +134,30 @@ class TemporalGraph:
         label = f" {self.name!r}" if self.name else ""
         return (
             f"<TemporalGraph{label}: {self.num_nodes} nodes, "
-            f"{len(self.events)} events, {self.num_edges} edges>"
+            f"{len(self)} events, {self.num_edges} edges>"
         )
 
     @property
     def nodes(self) -> set[int]:
         """The set of nodes appearing in at least one event."""
-        return set(self.node_events)
+        return self._storage.nodes
 
     @property
     def num_nodes(self) -> int:
-        return len(self.node_events)
+        return self._storage.num_nodes
 
     @property
     def num_edges(self) -> int:
         """Number of distinct directed static edges."""
-        return len(self.edge_events)
+        return self._storage.num_edges
 
     @property
     def timespan(self) -> float:
         """Time difference between the last and first events (0 if empty)."""
-        if not self.events:
+        start = self._storage.start_time
+        if start is None:
             return 0.0
-        return self.times[-1] - self.times[0]
+        return self._storage.end_time - start
 
     # ------------------------------------------------------------------
     # static projection
@@ -115,12 +168,7 @@ class TemporalGraph:
 
     def static_neighbors(self, node: int) -> set[int]:
         """Nodes adjacent to ``node`` in the (directed) static projection."""
-        neighbors: set[int] = set()
-        for idx in self.node_events.get(node, ()):
-            ev = self.events[idx]
-            neighbors.add(ev.v if ev.u == node else ev.u)
-        neighbors.discard(node)
-        return neighbors
+        return self._storage.neighbors(node)
 
     def induced_static_edges(self, nodes: Iterable[int]) -> set[tuple[int, int]]:
         """Directed static edges with both endpoints in ``nodes``.
@@ -129,10 +177,12 @@ class TemporalGraph:
         (Hulovatyy / Paranjape sense, Section 4.1) must fully cover.
         """
         node_set = set(nodes)
+        storage = self._storage
+        events = storage.events
         found: set[tuple[int, int]] = set()
         for node in node_set:
-            for idx in self.node_events.get(node, ()):
-                ev = self.events[idx]
+            for idx in storage.node_event_indices(node):
+                ev = events[idx]
                 if ev.u in node_set and ev.v in node_set:
                     found.add(ev.edge)
         return found
@@ -142,54 +192,76 @@ class TemporalGraph:
     # ------------------------------------------------------------------
     def node_events_in(self, node: int, t_lo: float, t_hi: float) -> list[int]:
         """Indices of events touching ``node`` with ``t_lo <= t <= t_hi``."""
-        times = self.node_times.get(node)
-        if times is None:
-            return []
-        lo = bisect.bisect_left(times, t_lo)
-        hi = bisect.bisect_right(times, t_hi)
-        return self.node_events[node][lo:hi]
+        return self._storage.node_events_in(node, t_lo, t_hi)
 
     def count_node_events_in(self, node: int, t_lo: float, t_hi: float) -> int:
         """Number of events touching ``node`` in the closed window."""
-        times = self.node_times.get(node)
-        if times is None:
-            return 0
-        return bisect.bisect_right(times, t_hi) - bisect.bisect_left(times, t_lo)
+        return self._storage.count_node_events_in(node, t_lo, t_hi)
 
     def edge_events_in(self, edge: tuple[int, int], t_lo: float, t_hi: float) -> list[int]:
         """Indices of events on directed ``edge`` with ``t_lo <= t <= t_hi``."""
-        times = self.edge_times.get(edge)
-        if times is None:
-            return []
-        lo = bisect.bisect_left(times, t_lo)
-        hi = bisect.bisect_right(times, t_hi)
-        return self.edge_events[edge][lo:hi]
+        return self._storage.edge_events_in(edge, t_lo, t_hi)
 
     def count_edge_events_in(self, edge: tuple[int, int], t_lo: float, t_hi: float) -> int:
         """Number of events on directed ``edge`` in the closed window."""
-        times = self.edge_times.get(edge)
-        if times is None:
-            return 0
-        return bisect.bisect_right(times, t_hi) - bisect.bisect_left(times, t_lo)
+        return self._storage.count_edge_events_in(edge, t_lo, t_hi)
 
     def events_in(self, t_lo: float, t_hi: float) -> list[int]:
         """Indices of all events with ``t_lo <= t <= t_hi``."""
-        lo = bisect.bisect_left(self.times, t_lo)
-        hi = bisect.bisect_right(self.times, t_hi)
-        return list(range(lo, hi))
+        return self._storage.events_in(t_lo, t_hi)
+
+    def event_at(self, idx: int) -> Event:
+        """The event at one index in O(1).
+
+        Equivalent to ``graph.events[idx]``, but on a live (growing) graph
+        it avoids re-snapshotting the whole :attr:`events` tuple after
+        every :meth:`append` — use it to resolve per-arrival indices, e.g.
+        from :func:`repro.algorithms.streaming.match_live`.
+        """
+        return self._storage.event_at(idx)
+
+    # ------------------------------------------------------------------
+    # mutation (live/streaming graphs)
+    # ------------------------------------------------------------------
+    def append(self, event: Event) -> int:
+        """Add one end-of-stream event; return its (stable) index.
+
+        The event's timestamp must be at or after the current last event —
+        the non-decreasing arrival order of a live stream — so that all
+        previously issued event indices stay valid.  This is the substrate
+        for matching patterns against a growing graph
+        (:func:`repro.algorithms.streaming.match_live`).
+        """
+        return self._storage.append(event)
+
+    def extend(self, events: Iterable[Event]) -> list[int]:
+        """Append a time-sorted batch of events; return their indices."""
+        return self._storage.update(list(events))
 
     # ------------------------------------------------------------------
     # transformations
     # ------------------------------------------------------------------
     def slice(self, t_lo: float, t_hi: float, *, name: str | None = None) -> "TemporalGraph":
         """A new graph holding only events in the closed window."""
-        lo = bisect.bisect_left(self.times, t_lo)
-        hi = bisect.bisect_right(self.times, t_hi)
-        return TemporalGraph(self.events[lo:hi], name=name or self.name)
+        return TemporalGraph._from_storage(
+            self._storage.slice_time(t_lo, t_hi), name=name or self.name
+        )
+
+    def slice_nodes(
+        self, nodes: Iterable[int], *, name: str | None = None
+    ) -> "TemporalGraph":
+        """The subgraph induced by ``nodes``.
+
+        Keeps exactly the events whose endpoints *both* lie in ``nodes``
+        (event indices are renumbered; timestamps are untouched).
+        """
+        return TemporalGraph._from_storage(
+            self._storage.slice_nodes(nodes), name=name or self.name
+        )
 
     def head(self, n: int, *, name: str | None = None) -> "TemporalGraph":
         """A new graph holding the earliest ``n`` events."""
-        return TemporalGraph(self.events[:n], name=name or self.name)
+        return TemporalGraph(self.events[:n], name=name or self.name, backend=self.backend)
 
     def degrade_resolution(self, resolution: float, *, name: str | None = None) -> "TemporalGraph":
         """Snap every timestamp down to a multiple of ``resolution``.
@@ -199,19 +271,18 @@ class TemporalGraph:
         timestamps, which is what the constrained dynamic graphlet
         restriction was designed around.
         """
-        if resolution <= 0:
-            raise ValueError("resolution must be positive")
-        snapped = (
-            Event(ev.u, ev.v, (ev.t // resolution) * resolution) for ev in self.events
+        return TemporalGraph._from_storage(
+            self._storage.coarsen(resolution), name=name or self.name
         )
-        return TemporalGraph(snapped, name=name or self.name)
 
     def filter_events(
         self, predicate: Callable[[Event], bool], *, name: str | None = None
     ) -> "TemporalGraph":
         """A new graph holding only events for which ``predicate`` is true."""
         return TemporalGraph(
-            (ev for ev in self.events if predicate(ev)), name=name or self.name
+            (ev for ev in self.events if predicate(ev)),
+            name=name or self.name,
+            backend=self.backend,
         )
 
     def relabeled(self, *, name: str | None = None) -> "TemporalGraph":
@@ -223,7 +294,13 @@ class TemporalGraph:
                 if node not in mapping:
                     mapping[node] = len(mapping)
             out.append(Event(mapping[ev.u], mapping[ev.v], ev.t))
-        return TemporalGraph(out, name=name or self.name)
+        return TemporalGraph(out, name=name or self.name, backend=self.backend)
+
+    def with_backend(self, backend: str, *, name: str | None = None) -> "TemporalGraph":
+        """The same graph re-indexed under another storage backend."""
+        return TemporalGraph(
+            self.events, name=name or self.name, backend=backend
+        )
 
     # ------------------------------------------------------------------
     # statistics (Table 2 building blocks)
@@ -237,13 +314,14 @@ class TemporalGraph:
 
         Table 2 column |Eu|/|E|.  Returns 0.0 for an empty graph.
         """
-        if not self.events:
+        times = self.times
+        if not times:
             return 0.0
         counts: dict[float, int] = defaultdict(int)
-        for t in self.times:
+        for t in times:
             counts[t] += 1
-        unique = sum(1 for t in self.times if counts[t] == 1)
-        return unique / len(self.events)
+        unique = sum(1 for t in times if counts[t] == 1)
+        return unique / len(times)
 
     def median_interevent_time(self) -> float:
         """Median gap between consecutive events (Table 2 column m(Δt))."""
@@ -261,7 +339,11 @@ class TemporalGraph:
     # ------------------------------------------------------------------
     @classmethod
     def from_tuples(
-        cls, triples: Sequence[tuple[int, int, float]], *, name: str = ""
+        cls,
+        triples: Sequence[tuple[int, int, float]],
+        *,
+        name: str = "",
+        backend: str | None = None,
     ) -> "TemporalGraph":
         """Build a graph from plain ``(u, v, t)`` tuples."""
-        return cls((Event(*tri) for tri in triples), name=name)
+        return cls((Event(*tri) for tri in triples), name=name, backend=backend)

@@ -11,7 +11,7 @@ substitution rationale.
 """
 
 from repro.datasets.generators import ActivityConfig, ActivityModel, generate
-from repro.datasets.io import read_event_list, write_event_list
+from repro.datasets.io import iter_event_list, read_event_list, write_event_list
 from repro.datasets.registry import DATASETS, dataset_names, get_dataset
 from repro.datasets.statistics import DatasetStats, compute_stats, stats_table
 
@@ -24,6 +24,7 @@ __all__ = [
     "dataset_names",
     "generate",
     "get_dataset",
+    "iter_event_list",
     "read_event_list",
     "stats_table",
     "write_event_list",

@@ -1,0 +1,290 @@
+"""The storage-engine contract behind :class:`~repro.core.temporal_graph.TemporalGraph`.
+
+A :class:`GraphStorage` owns the time-sorted event list of one temporal
+network plus whatever indices it needs to answer the library's windowed
+queries.  The facade (:class:`~repro.core.temporal_graph.TemporalGraph`)
+delegates *all* index maintenance and window bisection here, so backends
+can evolve independently of the motif models: a backend may keep plain
+Python lists (:class:`~repro.storage.list_backend.ListStorage`), flat
+columns with CSR offsets
+(:class:`~repro.storage.columnar.ColumnarStorage`), or — in the future —
+NumPy/mmap pages, without touching enumeration or restriction code.
+
+Contract invariants every backend must uphold
+---------------------------------------------
+
+* Events are stored sorted by ``(t, u, v)`` and addressed by their
+  position (*event index*), the universal handle of the library.
+* ``node_events`` / ``edge_events`` map each node (directed edge) to the
+  time-sorted list of indices of events touching it; ``node_times`` /
+  ``edge_times`` are the parallel timestamp lists used as bisect keys.
+  Mapping iteration follows **first-appearance order** (the order a seed
+  ``dict`` would have been filled in one pass over the events) so that
+  seeded randomized consumers — e.g. the link-shuffling null model — are
+  reproducible across backends.
+* All window queries treat ``[t_lo, t_hi]`` as a **closed** interval;
+  :meth:`node_events_between` alone is half-open ``(t_lo, t_hi]``, which
+  is the enumeration engine's strict-ordering window.
+* :meth:`append` only accepts events at or after :attr:`end_time`
+  (non-decreasing time), which is what keeps event indices stable on a
+  live, growing graph.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import ClassVar, Iterable, Iterator, Mapping
+
+from repro.core.events import Event, validate_events
+
+
+class GraphStorage(ABC):
+    """Abstract index/query engine for one temporal event list."""
+
+    #: Registry key of the backend (``"list"``, ``"columnar"``, ...).
+    backend_name: ClassVar[str] = ""
+
+    # ------------------------------------------------------------------
+    # construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    @abstractmethod
+    def from_events(
+        cls, events: Iterable[Event], *, presorted: bool = False
+    ) -> "GraphStorage":
+        """Build a storage engine from events.
+
+        ``presorted=True`` promises the input is already validated and
+        ``(t, u, v)``-sorted (e.g. a slice of another storage), letting
+        backends skip re-validation.
+        """
+
+    def to_events(self) -> tuple[Event, ...]:
+        """The stored events as an immutable time-sorted tuple."""
+        return self.events
+
+    # ------------------------------------------------------------------
+    # materialized views (source-compatible with the pre-storage graph)
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def events(self) -> tuple[Event, ...]:
+        """Time-sorted events; position in this tuple is the event index."""
+
+    @property
+    @abstractmethod
+    def times(self) -> list[float]:
+        """Timestamps parallel to :attr:`events`."""
+
+    @property
+    @abstractmethod
+    def node_events(self) -> Mapping[int, list[int]]:
+        """node -> time-sorted event indices touching the node."""
+
+    @property
+    @abstractmethod
+    def node_times(self) -> Mapping[int, list[float]]:
+        """node -> timestamps parallel to :attr:`node_events`."""
+
+    @property
+    @abstractmethod
+    def edge_events(self) -> Mapping[tuple[int, int], list[int]]:
+        """directed edge -> time-sorted event indices on that edge."""
+
+    @property
+    @abstractmethod
+    def edge_times(self) -> Mapping[tuple[int, int], list[float]]:
+        """directed edge -> timestamps parallel to :attr:`edge_events`."""
+
+    # ------------------------------------------------------------------
+    # scalar views
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def nodes(self) -> set[int]:
+        """The set of nodes appearing in at least one event."""
+        return set(self.node_events)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_events)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of distinct directed static edges."""
+        return len(self.edge_events)
+
+    @property
+    def start_time(self) -> float | None:
+        """Timestamp of the earliest event (``None`` when empty)."""
+        times = self.times
+        return times[0] if times else None
+
+    @property
+    def end_time(self) -> float | None:
+        """Timestamp of the latest event (``None`` when empty)."""
+        times = self.times
+        return times[-1] if times else None
+
+    # ------------------------------------------------------------------
+    # point lookups
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def node_event_indices(self, node: int) -> list[int]:
+        """All event indices touching ``node`` (empty list if unknown)."""
+
+    @abstractmethod
+    def edge_event_indices(self, edge: tuple[int, int]) -> list[int]:
+        """All event indices on directed ``edge`` (empty list if unknown)."""
+
+    def neighbors(self, node: int) -> set[int]:
+        """Nodes adjacent to ``node`` in the directed static projection."""
+        events = self.events
+        out: set[int] = set()
+        for idx in self.node_event_indices(node):
+            ev = events[idx]
+            out.add(ev.v if ev.u == node else ev.u)
+        out.discard(node)
+        return out
+
+    def get_nbrs(self, nodes: Iterable[int]) -> dict[int, list[int]]:
+        """Sorted static neighbor lists for each requested node."""
+        return {node: sorted(self.neighbors(node)) for node in nodes}
+
+    def event_at(self, idx: int) -> Event:
+        """The event at one index, in O(1) without snapshotting the stream.
+
+        Equivalent to ``storage.events[idx]`` but — on backends whose
+        :attr:`events` tuple is materialized on demand — without paying an
+        O(m) rebuild per access on a mutating (live) graph.
+        """
+        return self.events[idx]
+
+    def iter_uvt(self) -> Iterator[tuple[int, int, float]]:
+        """Yield ``(u, v, t)`` triples in event-index order.
+
+        Columnar backends override this to stream straight from their
+        columns; the default unpacks the event records.
+        """
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    # windowed queries (the hot path of every restriction checker)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def node_events_in(self, node: int, t_lo: float, t_hi: float) -> list[int]:
+        """Indices of events touching ``node`` with ``t_lo <= t <= t_hi``."""
+
+    @abstractmethod
+    def count_node_events_in(self, node: int, t_lo: float, t_hi: float) -> int:
+        """Number of events touching ``node`` in the closed window."""
+
+    @abstractmethod
+    def edge_events_in(
+        self, edge: tuple[int, int], t_lo: float, t_hi: float
+    ) -> list[int]:
+        """Indices of events on directed ``edge`` with ``t_lo <= t <= t_hi``."""
+
+    @abstractmethod
+    def count_edge_events_in(
+        self, edge: tuple[int, int], t_lo: float, t_hi: float
+    ) -> int:
+        """Number of events on directed ``edge`` in the closed window."""
+
+    @abstractmethod
+    def events_in(self, t_lo: float, t_hi: float) -> list[int]:
+        """Indices of all events with ``t_lo <= t <= t_hi``."""
+
+    def count_events_in(self, t_lo: float, t_hi: float) -> int:
+        """Number of events in the closed window."""
+        return len(self.events_in(t_lo, t_hi))
+
+    @abstractmethod
+    def node_events_between(self, node: int, t_lo: float, t_hi: float) -> list[int]:
+        """Indices of events touching ``node`` with ``t_lo < t <= t_hi``.
+
+        The half-open window of connected-growth candidate generation:
+        strictly-later events only (total ordering), up to a deadline.
+        """
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def slice_time(self, t_lo: float, t_hi: float) -> "GraphStorage":
+        """A new storage holding only events in the closed window."""
+        times = self.times
+        lo = bisect.bisect_left(times, t_lo)
+        hi = bisect.bisect_right(times, t_hi)
+        return type(self).from_events(self.events[lo:hi], presorted=True)
+
+    def slice_nodes(self, nodes: Iterable[int]) -> "GraphStorage":
+        """A new storage with only events whose endpoints both lie in ``nodes``."""
+        node_set = set(nodes)
+        kept = [
+            ev for ev in self.events if ev.u in node_set and ev.v in node_set
+        ]
+        return type(self).from_events(kept, presorted=True)
+
+    def coarsen(self, resolution: float) -> "GraphStorage":
+        """A new storage with timestamps snapped down to ``resolution`` multiples.
+
+        Snapping can merge previously distinct timestamps, so events are
+        re-sorted under the ``(t, u, v)`` key — matching what rebuilding a
+        graph from the snapped events has always done.
+        """
+        if resolution <= 0:
+            raise ValueError("resolution must be positive")
+        snapped = (
+            Event(ev.u, ev.v, (ev.t // resolution) * resolution)
+            for ev in self.events
+        )
+        return type(self).from_events(validate_events(snapped), presorted=True)
+
+    # ------------------------------------------------------------------
+    # mutation (live/streaming graphs)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def append(self, event: Event) -> int:
+        """Add one event at the end of the stream; return its index.
+
+        The event's timestamp must be ``>= end_time`` so existing indices
+        stay stable.  Backends should call :meth:`_check_appendable`.
+        """
+
+    def update(self, events: Event | Iterable[Event]) -> list[int]:
+        """Append one event or a time-sorted batch; return the new indices.
+
+        The whole batch is validated *before* any event is committed, so a
+        rejected batch leaves the storage untouched — callers may fix the
+        input and retry without duplicating a partially applied prefix.
+        """
+        if isinstance(events, Event):
+            return [self.append(events)]
+        batch = [ev if isinstance(ev, Event) else Event(*ev) for ev in events]
+        last = self.end_time
+        for ev in batch:
+            last = _validate_arrival(ev, last)
+        return [self.append(ev) for ev in batch]
+
+    def _check_appendable(self, event: Event) -> Event:
+        """Validate one incoming event for the append path."""
+        ev = event if isinstance(event, Event) else Event(*event)
+        _validate_arrival(ev, self.end_time)
+        return ev
+
+
+def _validate_arrival(ev: Event, last: float | None) -> float:
+    """Check one arriving event against the stream tail; return its time."""
+    if ev.t < 0:
+        raise ValueError(f"event {ev} has a negative timestamp")
+    if ev.is_loop():
+        raise ValueError(f"event {ev} is a self-loop; motif models exclude loops")
+    if last is not None and ev.t < last:
+        raise ValueError(
+            f"append requires non-decreasing timestamps: got t={ev.t} "
+            f"after t={last} (indices must stay stable)"
+        )
+    return ev.t

@@ -2,9 +2,16 @@
 
 Fixtures deliberately use tiny graphs with hand-checkable motif content;
 dataset-backed tests use small scales so the whole suite stays fast.
+
+The session-scoped, parametrized :func:`storage_backend` fixture runs the
+entire suite once per registered storage backend (``REPRO_STORAGE=list``
+and ``REPRO_STORAGE=columnar``), so every seed test doubles as a parity
+check of the columnar engine.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -12,6 +19,19 @@ from repro.core.constraints import TimingConstraints
 from repro.core.events import Event
 from repro.core.temporal_graph import TemporalGraph
 from repro.datasets.registry import get_dataset
+from repro.storage import ENV_VAR
+
+
+@pytest.fixture(scope="session", autouse=True, params=["list", "columnar"])
+def storage_backend(request: pytest.FixtureRequest):
+    """Default storage backend for every graph built during the session."""
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = request.param
+    yield request.param
+    if previous is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = previous
 
 
 @pytest.fixture
@@ -57,19 +77,19 @@ def loose() -> TimingConstraints:
 
 
 @pytest.fixture(scope="session")
-def small_sms() -> TemporalGraph:
+def small_sms(storage_backend: str) -> TemporalGraph:
     """A small message-network dataset (shared across the session)."""
     return get_dataset("sms-copenhagen", scale=0.15)
 
 
 @pytest.fixture(scope="session")
-def small_email() -> TemporalGraph:
+def small_email(storage_backend: str) -> TemporalGraph:
     """A small email dataset with same-timestamp carbon copies."""
     return get_dataset("email", scale=0.1)
 
 
 @pytest.fixture(scope="session")
-def small_bitcoin() -> TemporalGraph:
+def small_bitcoin(storage_backend: str) -> TemporalGraph:
     """A small no-repeated-edges ratings dataset."""
     return get_dataset("bitcoin-otc", scale=0.2)
 

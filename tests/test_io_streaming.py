@@ -1,0 +1,73 @@
+"""Tests for gzip-compressed and streaming event-list I/O."""
+
+import gzip
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.temporal_graph import TemporalGraph
+from repro.datasets.io import (
+    iter_event_list,
+    read_event_list,
+    roundtrip,
+    write_event_list,
+)
+
+
+class TestGzip:
+    def test_roundtrip_gz(self, tmp_path, triangle_graph):
+        back = roundtrip(triangle_graph, tmp_path / "g.txt.gz")
+        assert back.events == triangle_graph.events
+
+    def test_gz_file_is_actually_compressed(self, tmp_path, small_sms):
+        plain = tmp_path / "sms.txt"
+        packed = tmp_path / "sms.txt.gz"
+        write_event_list(small_sms, plain)
+        write_event_list(small_sms, packed)
+        assert packed.stat().st_size < plain.stat().st_size / 2
+        # and it really is gzip on disk, not a misnamed text file
+        with gzip.open(packed, "rt") as handle:
+            assert handle.readline().startswith("#")
+
+    def test_gz_and_plain_read_identically(self, tmp_path, small_sms):
+        plain = tmp_path / "sms.txt"
+        packed = tmp_path / "sms.txt.gz"
+        write_event_list(small_sms, plain)
+        write_event_list(small_sms, packed)
+        assert read_event_list(packed).events == read_event_list(plain).events
+
+    def test_gz_name_strips_both_suffixes(self, tmp_path, triangle_graph):
+        path = tmp_path / "mygraph.txt.gz"
+        write_event_list(triangle_graph, path)
+        assert read_event_list(path).name == "mygraph"
+
+    def test_gz_malformed_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0 1 5\n0 1\n")
+        with pytest.raises(ValueError, match=":2"):
+            read_event_list(path)
+
+
+class TestIterEventList:
+    def test_streams_lazily(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n0 1 5\n\n1 2 9\n")
+        stream = iter_event_list(path)
+        assert next(stream) == Event(0, 1, 5.0)
+        assert next(stream) == Event(1, 2, 9.0)
+        with pytest.raises(StopIteration):
+            next(stream)
+
+    def test_feeds_graph_without_intermediate_list(self, tmp_path, triangle_graph):
+        path = tmp_path / "g.txt"
+        write_event_list(triangle_graph, path)
+        g = TemporalGraph(iter_event_list(path), name="streamed")
+        assert g.events == triangle_graph.events
+
+    def test_read_with_explicit_backend(self, tmp_path, triangle_graph):
+        path = tmp_path / "g.txt.gz"
+        write_event_list(triangle_graph, path)
+        g = read_event_list(path, backend="columnar")
+        assert g.backend == "columnar"
+        assert g.events == triangle_graph.events

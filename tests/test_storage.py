@@ -1,0 +1,411 @@
+"""The storage-engine contract and cross-backend parity suite.
+
+Every backend registered in :mod:`repro.storage` must answer every query
+identically to :class:`~repro.storage.ListStorage`, the reference
+implementation extracted verbatim from the original ``TemporalGraph``.
+The parity tests here sweep randomized generated graphs, so adding a
+backend to ``BACKENDS`` below subjects it to the full contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.counting import run_census
+from repro.algorithms.enumeration import enumerate_instances
+from repro.core.constraints import TimingConstraints
+from repro.core.events import Event
+from repro.core.temporal_graph import TemporalGraph
+from repro.datasets.generators import ActivityConfig, generate
+from repro.storage import (
+    ColumnarStorage,
+    ENV_VAR,
+    GraphStorage,
+    ListStorage,
+    available_backends,
+    get_backend,
+    make_storage,
+    register_backend,
+)
+
+BACKENDS = ("list", "columnar")
+
+EVENTS = [(0, 1, 10), (1, 2, 20), (0, 1, 30), (2, 0, 40), (1, 2, 40)]
+
+
+def random_graph(seed: int, *, same_ts: bool = False) -> TemporalGraph:
+    """A small, mechanism-rich generated graph (always list-backed)."""
+    config = ActivityConfig(
+        n_nodes=40,
+        n_events=300,
+        timespan=30_000.0,
+        p_reply=0.4,
+        p_repeat=0.3,
+        p_cc=0.3,
+        p_forward=0.25,
+        p_in_burst=0.2,
+        cc_same_timestamp=same_ts,
+        reaction_mean=60.0,
+    )
+    return generate(config, seed=seed)
+
+
+def both(events) -> tuple[GraphStorage, GraphStorage]:
+    return (
+        ListStorage.from_events(events),
+        ColumnarStorage.from_events(events),
+    )
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        assert set(BACKENDS) <= set(available_backends())
+
+    def test_get_backend_by_name(self):
+        assert get_backend("list") is ListStorage
+        assert get_backend("columnar") is ColumnarStorage
+
+    def test_unknown_backend_raises_with_choices(self):
+        with pytest.raises(ValueError, match="columnar"):
+            get_backend("no-such-engine")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "columnar")
+        assert get_backend() is ColumnarStorage
+        g = TemporalGraph.from_tuples(EVENTS)
+        assert g.backend == "columnar"
+        assert isinstance(g.storage, ColumnarStorage)
+
+    def test_explicit_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "columnar")
+        assert TemporalGraph.from_tuples(EVENTS, backend="list").backend == "list"
+
+    def test_register_backend_roundtrip(self):
+        class Fake(ListStorage):
+            backend_name = "fake-for-test"
+
+        register_backend("fake-for-test", Fake)
+        try:
+            assert get_backend("fake-for-test") is Fake
+            assert TemporalGraph.from_tuples(
+                EVENTS, backend="fake-for-test"
+            ).backend == "fake-for-test"
+        finally:
+            from repro.storage import _BACKENDS
+
+            _BACKENDS.pop("fake-for-test")
+
+    def test_make_storage(self):
+        storage = make_storage([Event(0, 1, 5.0)], backend="columnar")
+        assert isinstance(storage, ColumnarStorage)
+        assert storage.to_events() == (Event(0, 1, 5.0),)
+
+
+class TestContract:
+    """Backend-agnostic contract checks, run against each backend."""
+
+    @pytest.fixture(params=BACKENDS)
+    def storage(self, request) -> GraphStorage:
+        return make_storage(
+            [Event(*tri) for tri in EVENTS], backend=request.param
+        )
+
+    def test_events_sorted_and_indexed(self, storage):
+        assert [ev.t for ev in storage.events] == [10, 20, 30, 40, 40]
+        assert storage.times == [10, 20, 30, 40, 40]
+        assert len(storage) == 5
+
+    def test_scalars(self, storage):
+        assert storage.nodes == {0, 1, 2}
+        assert storage.num_nodes == 3
+        assert storage.num_edges == 3
+        assert storage.start_time == 10
+        assert storage.end_time == 40
+
+    def test_empty(self, storage):
+        empty = type(storage).from_events([])
+        assert empty.to_events() == ()
+        assert empty.start_time is None and empty.end_time is None
+        assert empty.times == []
+        assert empty.num_nodes == 0 and empty.num_edges == 0
+        assert empty.events_in(0, 1e9) == []
+        assert empty.node_events_in(0, 0, 1e9) == []
+
+    def test_window_queries(self, storage):
+        assert storage.node_events_in(0, 10, 30) == [0, 2]
+        assert storage.count_node_events_in(1, 10, 40) == 4
+        assert storage.edge_events_in((1, 2), 20, 40) == [1, 3]
+        assert storage.count_edge_events_in((9, 9), 0, 100) == 0
+        assert storage.events_in(20, 40) == [1, 2, 3, 4]
+        assert storage.count_events_in(20, 40) == 4
+
+    def test_node_events_between_is_half_open(self, storage):
+        assert storage.node_events_between(0, 10, 40) == [2, 4]
+        assert storage.node_events_between(0, 9, 40) == [0, 2, 4]
+        assert storage.node_events_between(99, 0, 100) == []
+
+    def test_point_lookups(self, storage):
+        assert storage.node_event_indices(2) == [1, 3, 4]
+        assert storage.edge_event_indices((0, 1)) == [0, 2]
+        assert storage.neighbors(0) == {1, 2}
+        assert storage.get_nbrs([0, 1]) == {0: [1, 2], 1: [0, 2]}
+
+    def test_iter_uvt(self, storage):
+        assert [tuple(x) for x in storage.iter_uvt()] == [
+            (ev.u, ev.v, ev.t) for ev in storage.events
+        ]
+
+    def test_slice_time(self, storage):
+        sliced = storage.slice_time(20, 40)
+        assert sliced.to_events() == storage.events[1:]
+        assert type(sliced) is type(storage)
+
+    def test_slice_nodes(self, storage):
+        sliced = storage.slice_nodes([0, 1])
+        assert sliced.to_events() == (Event(0, 1, 10), Event(0, 1, 30))
+
+    def test_coarsen(self, storage):
+        coarse = storage.coarsen(25)
+        assert set(ev.t for ev in coarse.to_events()) == {0, 25}
+        assert len(coarse) == len(storage)
+        with pytest.raises(ValueError):
+            storage.coarsen(0)
+
+    def test_append_and_update(self, storage):
+        idx = storage.append(Event(3, 0, 41))
+        assert idx == 5
+        assert storage.events[5] == Event(3, 0, 41)
+        assert storage.node_events_in(3, 0, 100) == [5]
+        assert storage.num_nodes == 4
+        assert storage.update([Event(3, 0, 41), Event(0, 1, 50)]) == [6, 7]
+        assert storage.edge_event_indices((3, 0)) == [5, 6]
+        assert storage.end_time == 50
+
+    def test_append_rejects_out_of_order(self, storage):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            storage.append(Event(5, 6, 1))
+
+    def test_update_is_atomic_on_invalid_batch(self, storage):
+        before = storage.to_events()
+        with pytest.raises(ValueError, match="non-decreasing"):
+            storage.update([Event(1, 5, 50), Event(1, 6, 45)])
+        assert storage.to_events() == before  # nothing committed
+        with pytest.raises(ValueError, match="self-loop"):
+            storage.update([Event(1, 5, 50), Event(6, 6, 51)])
+        assert storage.to_events() == before
+
+    def test_event_at_matches_events_tuple(self, storage):
+        for idx in range(len(storage)):
+            assert storage.event_at(idx) == storage.events[idx]
+        assert storage.event_at(-1) == storage.events[-1]
+        storage.append(Event(7, 8, 99))
+        assert storage.event_at(len(storage) - 1) == Event(7, 8, 99)
+
+    def test_append_rejects_loops_and_negatives(self, storage):
+        with pytest.raises(ValueError):
+            storage.append(Event(5, 5, 99))
+        empty = type(storage).from_events([])
+        with pytest.raises(ValueError):
+            empty.append(Event(0, 1, -1))
+
+
+class TestColumnarInternals:
+    def test_columns_are_flat_arrays(self):
+        from array import array
+
+        storage = ColumnarStorage.from_events([Event(*t) for t in EVENTS])
+        assert isinstance(storage._col_u, array)
+        assert storage._col_u.typecode == "q"
+        assert storage._col_t.typecode == "d"
+        assert list(storage._col_u) == [0, 1, 0, 1, 2]
+
+    def test_python_fallback_matches_numpy_build(self):
+        fast = ColumnarStorage.from_events([Event(*t) for t in EVENTS])
+        slow = ColumnarStorage.from_events([])
+        slow._build_python(fast.events)
+        assert slow._node_slot.keys() == fast._node_slot.keys()
+        for node in fast._node_slot:
+            assert slow.node_event_indices(node) == fast.node_event_indices(node)
+        for edge in fast._edge_slot:
+            assert slow.edge_event_indices(edge) == fast.edge_event_indices(edge)
+        assert list(slow._col_u) == list(fast._col_u)
+        assert list(slow._col_t) == list(fast._col_t)
+
+    def test_tail_compaction_preserves_answers(self):
+        storage = ColumnarStorage.from_events([Event(*t) for t in EVENTS])
+        storage.compact_threshold = 3
+        for k in range(8):
+            storage.append(Event(k % 3, (k + 1) % 3, 50 + k))
+        assert len(storage._tail) < 3  # compaction fired
+        reference = ListStorage.from_events(storage.to_events())
+        assert storage.node_events == reference.node_events
+        assert storage.edge_times == reference.edge_times
+
+    def test_views_invalidate_on_append(self):
+        storage = ColumnarStorage.from_events([Event(*t) for t in EVENTS])
+        before = dict(storage.node_events)
+        storage.append(Event(0, 2, 60))
+        assert storage.node_events[0] == before[0] + [5]
+        assert storage.times[-1] == 60
+
+
+class TestBackendParity:
+    """ListStorage and ColumnarStorage must be answer-identical."""
+
+    @pytest.fixture(scope="class", params=[101, 202, 303])
+    def pair(self, request):
+        graph = random_graph(request.param, same_ts=request.param == 202)
+        return both(graph.events)
+
+    def test_views_identical_including_order(self, pair):
+        ref, col = pair
+        assert ref.events == col.events
+        assert ref.times == col.times
+        assert ref.node_events == col.node_events
+        assert list(ref.node_events) == list(col.node_events)
+        assert ref.node_times == col.node_times
+        assert ref.edge_events == col.edge_events
+        assert list(ref.edge_events) == list(col.edge_events)
+        assert ref.edge_times == col.edge_times
+
+    def test_windowed_queries_identical(self, pair):
+        ref, col = pair
+        t0, t1 = ref.start_time, ref.end_time
+        span = t1 - t0
+        cuts = [t0 - 1, t0, t0 + span / 4, t0 + span / 2, t0 + 3 * span / 4, t1, t1 + 1]
+        nodes = sorted(ref.nodes)[:12] + [10**6]
+        edges = list(ref.edge_events)[:12] + [(10**6, 10**6 + 1)]
+        for lo in cuts:
+            for hi in cuts:
+                assert ref.events_in(lo, hi) == col.events_in(lo, hi)
+                assert ref.count_events_in(lo, hi) == col.count_events_in(lo, hi)
+                for node in nodes:
+                    assert ref.node_events_in(node, lo, hi) == col.node_events_in(
+                        node, lo, hi
+                    )
+                    assert ref.count_node_events_in(
+                        node, lo, hi
+                    ) == col.count_node_events_in(node, lo, hi)
+                    assert ref.node_events_between(
+                        node, lo, hi
+                    ) == col.node_events_between(node, lo, hi)
+                for edge in edges:
+                    assert ref.edge_events_in(edge, lo, hi) == col.edge_events_in(
+                        edge, lo, hi
+                    )
+                    assert ref.count_edge_events_in(
+                        edge, lo, hi
+                    ) == col.count_edge_events_in(edge, lo, hi)
+
+    def test_slices_identical(self, pair):
+        ref, col = pair
+        t0, t1 = ref.start_time, ref.end_time
+        mid = (t0 + t1) / 2
+        assert ref.slice_time(t0, mid).to_events() == col.slice_time(t0, mid).to_events()
+        some_nodes = sorted(ref.nodes)[::3]
+        assert (
+            ref.slice_nodes(some_nodes).to_events()
+            == col.slice_nodes(some_nodes).to_events()
+        )
+        assert ref.coarsen(300).to_events() == col.coarsen(300).to_events()
+
+    def test_neighbors_identical(self, pair):
+        ref, col = pair
+        for node in ref.nodes:
+            assert ref.neighbors(node) == col.neighbors(node)
+
+
+class TestGraphLevelParity:
+    """Whole-pipeline parity: enumeration and censuses across backends."""
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_enumerate_instances_identical(self, seed):
+        graph = random_graph(seed)
+        constraints = TimingConstraints(delta_c=600, delta_w=1800)
+        per_backend = [
+            list(
+                enumerate_instances(
+                    graph.with_backend(backend), 3, constraints, max_nodes=3
+                )
+            )
+            for backend in BACKENDS
+        ]
+        assert per_backend[0], "sweep should find instances"
+        assert all(insts == per_backend[0] for insts in per_backend[1:])
+
+    @pytest.mark.parametrize("seed", [9, 10])
+    def test_run_census_identical(self, seed):
+        graph = random_graph(seed, same_ts=seed == 10)
+        constraints = TimingConstraints.only_w(1800)
+        censuses = [
+            run_census(
+                graph.with_backend(backend), 3, constraints, max_nodes=3,
+                collect_timespans=True,
+            )
+            for backend in BACKENDS
+        ]
+        first = censuses[0]
+        assert first.total > 0
+        for census in censuses[1:]:
+            assert census.code_counts == first.code_counts
+            assert census.pair_counts == first.pair_counts
+            assert census.pair_sequence_counts == first.pair_sequence_counts
+            assert census.timespans == first.timespans
+            assert census.total == first.total
+
+
+class TestTemporalGraphFacade:
+    def test_backend_propagates_through_transformations(self):
+        g = TemporalGraph.from_tuples(EVENTS, backend="columnar")
+        assert g.backend == "columnar"
+        for derived in (
+            g.slice(10, 30),
+            g.slice_nodes([0, 1]),
+            g.head(2),
+            g.degrade_resolution(25),
+            g.filter_events(lambda ev: ev.u == 0),
+            g.relabeled(),
+        ):
+            assert derived.backend == "columnar"
+
+    def test_slice_nodes_induced_subgraph(self):
+        g = TemporalGraph.from_tuples(EVENTS)
+        sub = g.slice_nodes([0, 1])
+        assert [ev.edge for ev in sub.events] == [(0, 1), (0, 1)]
+        assert sub.nodes == {0, 1}
+        assert sub.times == [10, 30]
+
+    def test_slice_nodes_keeps_name_and_accepts_override(self):
+        g = TemporalGraph.from_tuples(EVENTS, name="base")
+        assert g.slice_nodes([0, 1]).name == "base"
+        assert g.slice_nodes([0, 1], name="sub").name == "sub"
+
+    def test_slice_nodes_empty_selection(self):
+        g = TemporalGraph.from_tuples(EVENTS)
+        assert len(g.slice_nodes([7, 8])) == 0
+
+    def test_slice_nodes_then_census_roundtrip(self):
+        graph = random_graph(55)
+        nodes = sorted(graph.nodes)[: len(graph.nodes) // 2]
+        constraints = TimingConstraints.only_w(900)
+        direct = run_census(graph.slice_nodes(nodes), 2, constraints)
+        rebuilt = run_census(
+            TemporalGraph(graph.slice_nodes(nodes).events), 2, constraints
+        )
+        assert direct.code_counts == rebuilt.code_counts
+
+    def test_append_extends_live_graph(self):
+        g = TemporalGraph.from_tuples(EVENTS, backend="columnar")
+        idx = g.append(Event(2, 1, 45))
+        assert idx == 5
+        assert g.events[idx] == Event(2, 1, 45)
+        assert g.num_edges == 4
+        assert g.extend([Event(2, 1, 50), Event(1, 0, 50)]) == [6, 7]
+        assert g.edge_events_in((2, 1), 0, 100) == [5, 6]
+
+    def test_with_backend_preserves_content(self):
+        g = TemporalGraph.from_tuples(EVENTS, name="g")
+        h = g.with_backend("columnar")
+        assert h.backend == "columnar"
+        assert h.events == g.events
+        assert h.name == "g"

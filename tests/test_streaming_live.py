@@ -1,0 +1,128 @@
+"""Tests for live-graph streaming: ``match_live`` and the shed counter."""
+
+import pytest
+
+from repro.algorithms.pattern import EventPattern, PatternEvent, chain_pattern
+from repro.algorithms.streaming import StreamMatcher, match_graph, match_live
+from repro.core.events import Event
+from repro.core.temporal_graph import TemporalGraph
+
+
+class TestShedCounter:
+    def test_shed_starts_at_zero(self):
+        assert StreamMatcher(chain_pattern(2), delta_w=10).shed == 0
+
+    def test_shed_counts_dropped_partials(self):
+        matcher = StreamMatcher(chain_pattern(2), delta_w=1e9, max_partials=3)
+        for k in range(10):
+            matcher.push(Event(2 * k + 10, 2 * k + 11, float(k)))
+        # each push adds one fresh partial; beyond the cap of 3 every
+        # arrival sheds exactly one of the oldest
+        assert matcher.shed == 7
+        assert matcher.live_partials == 3
+
+    def test_shedding_loses_matches_and_reports_it(self):
+        """The valve is lossy — and the counter is the only witness."""
+        pattern = chain_pattern(2, total=True)
+        events = [Event(0, k + 1, float(k)) for k in range(6)]
+        events += [Event(k + 1, 99, 50.0 + k) for k in range(6)]
+        lossless = StreamMatcher(pattern, delta_w=1e9)
+        lossy = StreamMatcher(pattern, delta_w=1e9, max_partials=2)
+        n_full = sum(len(lossless.push(ev)) for ev in events)
+        n_lossy = sum(len(lossy.push(ev)) for ev in events)
+        assert lossless.shed == 0
+        assert lossy.shed > 0
+        assert n_lossy < n_full
+
+    def test_no_shedding_when_disabled(self):
+        matcher = StreamMatcher(chain_pattern(2), delta_w=1e9, max_partials=None)
+        for k in range(50):
+            matcher.push(Event(2 * k + 10, 2 * k + 11, float(k)))
+        assert matcher.shed == 0
+        assert matcher.live_partials == 50
+
+    def test_expiry_is_not_shedding(self):
+        matcher = StreamMatcher(chain_pattern(2), delta_w=5, max_partials=100)
+        matcher.push(Event(0, 1, 0.0))
+        matcher.push(Event(5, 6, 100.0))  # first partial expires
+        assert matcher.live_partials == 1
+        assert matcher.shed == 0
+
+
+class TestMatchLive:
+    def test_grows_graph_and_matches_in_one_pass(self):
+        graph = TemporalGraph([])
+        stream = [Event(0, 1, 0.0), Event(1, 2, 5.0), Event(2, 3, 9.0)]
+        results = list(match_live(graph, chain_pattern(2), 100, stream))
+        assert [idx for idx, _ in results] == [0, 1, 2]
+        assert len(graph) == 3
+        assert graph.events == tuple(stream)
+        matches = [m for _, found in results for m in found]
+        assert len(matches) == 2  # (0→1,1→2) and (1→2,2→3)
+
+    def test_match_indices_resolve_against_live_graph(self):
+        graph = TemporalGraph([])
+        stream = [Event(0, 1, 0.0), Event(1, 2, 5.0)]
+        for idx, found in match_live(graph, chain_pattern(2), 100, stream):
+            assert graph.events[idx].t == stream[idx].t
+            for match in found:
+                assert match.events[-1] == graph.events[idx]
+
+    def test_appends_onto_existing_history(self):
+        graph = TemporalGraph.from_tuples([(0, 1, 0.0)])
+        results = list(match_live(graph, chain_pattern(2), 100, [Event(1, 2, 5.0)]))
+        assert results[0][0] == 1  # index continues the existing stream
+        assert len(graph) == 2
+        # history pushed before going live is the caller's job: the lone
+        # live event cannot complete a chain on its own
+        assert results[0][1] == []
+
+    def test_accepts_prepared_matcher_with_state(self):
+        graph = TemporalGraph.from_tuples([(0, 1, 0.0)])
+        matcher = StreamMatcher(chain_pattern(2), delta_w=100)
+        matcher.push(graph.events[0])  # warm up with history
+        results = list(match_live(graph, matcher, events=[Event(1, 2, 5.0)]))
+        assert len(results[0][1]) == 1
+        assert matcher.emitted == 1
+
+    def test_bare_pattern_requires_delta_w(self):
+        with pytest.raises(ValueError, match="delta_w"):
+            list(match_live(TemporalGraph([]), chain_pattern(2), None, [Event(0, 1, 1.0)]))
+
+    def test_conflicting_delta_w_with_prepared_matcher_rejected(self):
+        matcher = StreamMatcher(chain_pattern(2), delta_w=100)
+        with pytest.raises(ValueError, match="conflicting delta_w"):
+            list(match_live(TemporalGraph([]), matcher, 5, [Event(0, 1, 1.0)]))
+        # the matcher's own window restated explicitly is fine
+        assert list(match_live(TemporalGraph([]), matcher, 100, [Event(0, 1, 1.0)]))
+
+    def test_event_at_resolves_arrivals_in_o1(self):
+        graph = TemporalGraph([], backend="columnar")
+        stream = [Event(0, 1, 0.0), Event(1, 2, 5.0)]
+        for idx, _found in match_live(graph, chain_pattern(2), 100, stream):
+            assert graph.event_at(idx) == stream[idx]
+
+    def test_out_of_order_stream_rejected_by_append_contract(self):
+        graph = TemporalGraph.from_tuples([(0, 1, 10.0)])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            list(match_live(graph, chain_pattern(2), 100, [Event(1, 2, 5.0)]))
+
+    @pytest.mark.parametrize("backend", ["list", "columnar"])
+    def test_live_equals_frozen_matching(self, backend):
+        """Growing a graph live yields the same matches as a frozen pass."""
+        frozen = TemporalGraph.from_tuples(
+            [(0, 1, 0), (1, 2, 4), (0, 2, 6), (2, 3, 9), (3, 0, 12)],
+            backend=backend,
+        )
+        pattern = EventPattern(
+            events=[PatternEvent("A", "B"), PatternEvent("B", "C")], order=[(0, 1)]
+        )
+        live_graph = TemporalGraph([], backend=backend)
+        live_matches = [
+            m
+            for _, found in match_live(live_graph, pattern, 100, frozen.events)
+            for m in found
+        ]
+        assert live_matches == match_graph(frozen, pattern, 100)
+        assert live_graph.events == frozen.events
+        assert live_graph.node_events == frozen.node_events
