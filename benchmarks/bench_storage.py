@@ -12,13 +12,16 @@ contract was designed around:
   engine, exercising the half-open candidate query.
 
 Run under pytest-benchmark like the other kernels, or standalone for a
-quick comparison table::
+quick comparison table and an optional BENCH-format JSON record::
 
-    PYTHONPATH=src python benchmarks/bench_storage.py
+    PYTHONPATH=src python benchmarks/bench_storage.py --events 20000 \
+        --json bench_storage.json
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import time
 from dataclasses import replace
 
@@ -125,15 +128,39 @@ def compare(n_events: int = STREAM_CONFIG.n_events) -> dict[str, dict[str, float
     return out
 
 
-def main() -> None:  # pragma: no cover - manual tool
-    results = compare()
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - manual tool
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--events", type=int, default=STREAM_CONFIG.n_events,
+        help="generated stream size for the construction/window kernels",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the BENCH json record to PATH",
+    )
+    args = parser.parse_args(argv)
+    results = compare(args.events)
     kernels = ("construct", "window", "census")
     print(f"{'backend':<10}" + "".join(f"{k:>12}" for k in kernels))
     for backend, row in results.items():
         print(f"{backend:<10}" + "".join(f"{row[k] * 1000:>10.1f}ms" for k in kernels))
     ratio = results["list"]["construct"] / results["columnar"]["construct"]
     print(f"\ncolumnar construction speedup over list: {ratio:.2f}x (target >= 1.5x)")
+    if args.json:
+        payload = {
+            "benchmark": "bench_storage",
+            "config": {"n_events": args.events, "backends": list(BACKENDS)},
+            "results": [
+                {"backend": backend, "kernel": kernel, "seconds": row[kernel]}
+                for backend, row in results.items()
+                for kernel in kernels
+            ],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    raise SystemExit(main())

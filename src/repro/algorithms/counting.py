@@ -8,7 +8,7 @@ all of them in a single enumeration pass so each experiment costs one scan.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -24,6 +24,13 @@ Predicate = Callable[[TemporalGraph, Instance], bool]
 DEFAULT_SAMPLE_CAP = 200_000
 
 
+def _parallel_jobs(jobs: int | None) -> int:
+    """Resolve the effective worker count (argument > session default > env)."""
+    from repro.parallel.executor import resolve_jobs
+
+    return resolve_jobs(jobs)
+
+
 def count_motifs(
     graph: TemporalGraph,
     n_events: int,
@@ -32,6 +39,8 @@ def count_motifs(
     max_nodes: int | None = None,
     node_counts: Iterable[int] | None = None,
     predicate: Predicate | None = None,
+    jobs: int | None = None,
+    roots: Iterable[int] | None = None,
 ) -> Counter:
     """Count motif instances per canonical code.
 
@@ -44,11 +53,27 @@ def count_motifs(
     predicate:
         Optional restriction (consecutive-events, CDG, inducedness, or a
         model's validity check).
+    jobs:
+        Worker processes for a sharded count (``None`` = session default /
+        ``REPRO_JOBS`` / serial; ``<= 0`` = one per CPU).  The result is
+        bit-identical to the serial count, including key order.
+    roots:
+        Restrict to instances anchored at these event indices (see
+        :func:`~repro.algorithms.enumeration.enumerate_instances`).
     """
+    if roots is None and _parallel_jobs(jobs) > 1:
+        from repro.parallel import parallel_count_motifs
+
+        return parallel_count_motifs(
+            graph, n_events, constraints,
+            jobs=jobs, max_nodes=max_nodes,
+            node_counts=node_counts, predicate=predicate,
+        )
     wanted = set(node_counts) if node_counts is not None else None
     counts: Counter = Counter()
     for inst in enumerate_instances(
-        graph, n_events, constraints, max_nodes=max_nodes, predicate=predicate
+        graph, n_events, constraints,
+        max_nodes=max_nodes, predicate=predicate, roots=roots, jobs=1,
     ):
         code = canonical_code([graph.events[i].edge for i in inst])
         if wanted is not None and len(set(code)) not in wanted:
@@ -64,6 +89,8 @@ def count_event_pairs(
     *,
     max_nodes: int | None = None,
     predicate: Predicate | None = None,
+    jobs: int | None = None,
+    roots: Iterable[int] | None = None,
 ) -> Counter:
     """Count event-pair types across all consecutive pairs of all instances.
 
@@ -71,9 +98,17 @@ def count_event_pairs(
     ``m − 1`` pair observations.  Disjoint consecutive pairs (possible only
     in 4-node motifs) are counted under ``None``.
     """
+    if roots is None and _parallel_jobs(jobs) > 1:
+        from repro.parallel import parallel_count_event_pairs
+
+        return parallel_count_event_pairs(
+            graph, n_events, constraints,
+            jobs=jobs, max_nodes=max_nodes, predicate=predicate,
+        )
     counts: Counter = Counter()
     for inst in enumerate_instances(
-        graph, n_events, constraints, max_nodes=max_nodes, predicate=predicate
+        graph, n_events, constraints,
+        max_nodes=max_nodes, predicate=predicate, roots=roots, jobs=1,
     ):
         edges = [graph.events[i].edge for i in inst]
         for first, second in zip(edges, edges[1:]):
@@ -166,6 +201,8 @@ def run_census(
     timespan_codes: Sequence[str] | None = None,
     position_codes: Sequence[str] | None = None,
     sample_cap: int = DEFAULT_SAMPLE_CAP,
+    jobs: int | None = None,
+    roots: Iterable[int] | None = None,
 ) -> MotifCensus:
     """Enumerate once and collect every summary the experiments need.
 
@@ -177,7 +214,25 @@ def run_census(
     timespan_codes / position_codes:
         Restrict sample collection to specific codes (e.g. only ``010102``
         for Figure 5) — ``None`` collects for every code.
+    jobs:
+        Worker processes for a sharded census; the merged census is
+        bit-identical to the serial one (counter key order and sample
+        lists included).
+    roots:
+        Restrict to instances anchored at these event indices.
     """
+    if roots is None and _parallel_jobs(jobs) > 1:
+        from repro.parallel import parallel_run_census
+
+        return parallel_run_census(
+            graph, n_events, constraints,
+            jobs=jobs, max_nodes=max_nodes, predicate=predicate,
+            collect_timespans=collect_timespans,
+            collect_positions=collect_positions,
+            timespan_codes=timespan_codes,
+            position_codes=position_codes,
+            sample_cap=sample_cap,
+        )
     census = MotifCensus(n_events=n_events, constraints=constraints)
     span_filter = set(timespan_codes) if timespan_codes is not None else None
     pos_filter = set(position_codes) if position_codes is not None else None
@@ -185,7 +240,8 @@ def run_census(
     times = graph.times
 
     for inst in enumerate_instances(
-        graph, n_events, constraints, max_nodes=max_nodes, predicate=predicate
+        graph, n_events, constraints,
+        max_nodes=max_nodes, predicate=predicate, roots=roots, jobs=1,
     ):
         edges = [events[i].edge for i in inst]
         code = canonical_code(edges)
@@ -208,9 +264,12 @@ def run_census(
             span = times[inst[-1]] - t_first
             if span > 0:
                 bucket2 = census.intermediate_positions.setdefault(code, [])
-                if len(bucket2) < sample_cap:
-                    for pos, idx in enumerate(inst[1:-1], start=1):
-                        bucket2.append((pos, (times[idx] - t_first) / span))
+                # Strict cap (never exceeded), so capped lists are exact
+                # prefixes — the invariant sharded merges rely on.
+                for pos, idx in enumerate(inst[1:-1], start=1):
+                    if len(bucket2) >= sample_cap:
+                        break
+                    bucket2.append((pos, (times[idx] - t_first) / span))
     return census
 
 
@@ -221,12 +280,22 @@ def total_instances(
     *,
     max_nodes: int | None = None,
     predicate: Predicate | None = None,
+    jobs: int | None = None,
+    roots: Iterable[int] | None = None,
 ) -> int:
     """Total number of instances, without per-code bookkeeping."""
+    if roots is None and _parallel_jobs(jobs) > 1:
+        from repro.parallel import parallel_total_instances
+
+        return parallel_total_instances(
+            graph, n_events, constraints,
+            jobs=jobs, max_nodes=max_nodes, predicate=predicate,
+        )
     return sum(
         1
         for _ in enumerate_instances(
-            graph, n_events, constraints, max_nodes=max_nodes, predicate=predicate
+            graph, n_events, constraints,
+            max_nodes=max_nodes, predicate=predicate, roots=roots, jobs=1,
         )
     )
 

@@ -40,6 +40,7 @@ def enumerate_instances(
     predicate: Callable[[TemporalGraph, Instance], bool] | None = None,
     max_instances: int | None = None,
     roots: Sequence[int] | None = None,
+    jobs: int | None = None,
 ) -> Iterator[Instance]:
     """Yield all motif instances of ``n_events`` events in ``graph``.
 
@@ -66,6 +67,16 @@ def enumerate_instances(
         Restrict the search to instances whose *first* event index is in
         this collection (every instance has exactly one root, so sampling
         roots yields an unbiased sampled census).
+    jobs:
+        Worker processes for a sharded search (``<= 0`` = one per CPU).
+        The parallel path buffers per-shard results and yields them in
+        the exact serial order, so it trades the generator's laziness
+        for throughput — which is why it requires an *explicit* opt-in:
+        ``jobs=None`` (the default) always streams serially here, and
+        the session default / ``REPRO_JOBS`` are honored only by the
+        counting entry points, not by this generator.  A ``jobs`` value
+        is also ignored when ``roots`` or ``max_instances`` is given
+        (both are inherently sequential contracts).
 
     Yields
     ------
@@ -73,6 +84,17 @@ def enumerate_instances(
     """
     if n_events < 1:
         raise ValueError("n_events must be >= 1")
+    if jobs is not None and roots is None and max_instances is None:
+        from repro.parallel.executor import resolve_jobs
+
+        if resolve_jobs(jobs) > 1:
+            from repro.parallel import parallel_enumerate
+
+            yield from parallel_enumerate(
+                graph, n_events, constraints,
+                jobs=jobs, max_nodes=max_nodes, predicate=predicate,
+            )
+            return
     events = graph.events
     times = graph.times
     node_events_between = graph.storage.node_events_between

@@ -165,9 +165,9 @@ def _transitive_closure(n: int, pairs: Sequence[tuple[int, int]]) -> set[tuple[i
     while changed:
         changed = False
         for i, j in list(closure):
-            for k, l in list(closure):
-                if j == k and (i, l) not in closure:
-                    closure.add((i, l))
+            for k, m in list(closure):
+                if j == k and (i, m) not in closure:
+                    closure.add((i, m))
                     changed = True
     return closure
 

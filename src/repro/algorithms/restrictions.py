@@ -54,6 +54,11 @@ def satisfies_consecutive_events(graph: TemporalGraph, instance: Instance) -> bo
     return True
 
 
+# Only consults events inside the instance's closed time window, which a
+# time shard always contains -> safe for the sharded parallel engine.
+satisfies_consecutive_events.shard_safe = True
+
+
 def satisfies_cdg(graph: TemporalGraph, instance: Instance) -> bool:
     """Hulovatyy's constrained dynamic graphlet restriction.
 
@@ -74,6 +79,10 @@ def satisfies_cdg(graph: TemporalGraph, instance: Instance) -> bool:
         if graph.count_edge_events_in(ev_b.edge, t_a, t_b) != 1:
             return False
     return True
+
+
+# Window-local for the same reason as the consecutive-events check.
+satisfies_cdg.shard_safe = True
 
 
 def is_static_induced(
@@ -120,9 +129,17 @@ def is_static_induced(
 
 
 def combine(*predicates):
-    """AND-combine restriction predicates into a single enumerator filter."""
+    """AND-combine restriction predicates into a single enumerator filter.
+
+    The combined predicate is shard-safe for the parallel engine exactly
+    when every component is (see
+    :func:`repro.parallel.mark_shard_safe`).
+    """
 
     def combined(graph: TemporalGraph, instance: Instance) -> bool:
         return all(pred(graph, instance) for pred in predicates)
 
+    combined.shard_safe = all(
+        getattr(pred, "shard_safe", False) for pred in predicates
+    )
     return combined

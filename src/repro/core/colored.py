@@ -15,7 +15,7 @@ node.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.algorithms.counting import Predicate
 from repro.algorithms.enumeration import enumerate_instances

@@ -101,6 +101,15 @@ class TemporalGraph:
         """Timestamps parallel to :attr:`events` (bisect keys)."""
         return self._storage.times
 
+    def to_events(self) -> tuple[Event, ...]:
+        """The graph's events as an immutable time-sorted tuple.
+
+        The round-trip ``TemporalGraph(g.to_events())`` rebuilds an
+        identical graph (same indices, same index-mapping iteration
+        order), which is how parallel workers obtain their own copy.
+        """
+        return self._storage.to_events()
+
     @property
     def node_events(self) -> Mapping[int, list[int]]:
         """node -> time-sorted event indices touching the node."""

@@ -57,7 +57,10 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
 
     Keyword arguments are forwarded to the experiment's ``run`` (every
     experiment accepts ``datasets`` and ``scale``; several accept
-    experiment-specific knobs — see each module).
+    experiment-specific knobs — see each module).  ``jobs`` additionally
+    becomes the session default worker count for the duration of the
+    experiment, so every census inside it — including ones in experiments
+    that predate the parallel engine — shards across that many processes.
     """
     try:
         run, _title = EXPERIMENTS[experiment_id]
@@ -66,7 +69,13 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known experiments: {known}"
         ) from None
-    return run(**kwargs)
+    jobs = kwargs.get("jobs")
+    if jobs is None:
+        return run(**kwargs)
+    from repro.parallel import default_jobs
+
+    with default_jobs(jobs):
+        return run(**kwargs)
 
 
 def run_all(**kwargs) -> list[ExperimentResult]:

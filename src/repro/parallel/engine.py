@@ -1,0 +1,324 @@
+"""The sharded execution engine behind ``jobs=`` throughout the library.
+
+Each entry point plans shards for the graph (time shards when the
+predicate is shard-safe and the constraints bound the motif window; root
+shards otherwise), ships one self-contained :class:`_ShardTask` per shard
+to the executor, and reduces the per-shard results with the merge helpers
+— in shard order, so every output is bit-identical to the serial run.
+
+Shard-safety of predicates
+--------------------------
+
+A restriction predicate runs against the *shard subgraph*, so it may only
+consult events inside the instance's time window (which the shard is
+guaranteed to contain, including same-timestamp boundary events).  The
+bundled window-local restrictions are pre-marked; mark your own with
+:func:`mark_shard_safe`.  Unmarked predicates are automatically routed to
+root shards — every worker then reconstructs the full graph, trading
+memory for unconditional correctness.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.core.constraints import TimingConstraints
+from repro.core.temporal_graph import TemporalGraph
+from repro.parallel.executor import get_executor, resolve_jobs
+from repro.parallel.merge import merge_censuses, merge_counts, merge_instances
+from repro.parallel.shards import Shard, plan_root_shards, plan_shards, shard_graph
+from repro.storage import get_backend
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+Instance = tuple[int, ...]
+Predicate = Callable[[TemporalGraph, Instance], bool]
+
+
+def mark_shard_safe(predicate: Predicate) -> Predicate:
+    """Declare that a predicate only consults the instance's time window.
+
+    Shard-safe predicates answer identically on a time shard and on the
+    full graph, so the engine may use the cheaper time-sharded plan.
+    """
+    predicate.shard_safe = True  # type: ignore[attr-defined]
+    return predicate
+
+
+def is_shard_safe(predicate: Predicate | None) -> bool:
+    """Whether time shards are admissible for this predicate."""
+    return predicate is None or bool(getattr(predicate, "shard_safe", False))
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one worker needs, picklable and self-contained."""
+
+    kind: str
+    events: tuple
+    backend: str
+    name: str
+    shard: Shard
+    n_events: int
+    constraints: TimingConstraints
+    max_nodes: int | None
+    predicate: Predicate | None
+    options: dict = field(default_factory=dict)
+
+
+def _run_shard(task: _ShardTask):
+    # Deferred import: counting/enumeration lazily import this package on
+    # their jobs= paths, so the engine must not import them at module level.
+    from repro.algorithms import counting, enumeration
+
+    storage = get_backend(task.backend).from_events(task.events, presorted=True)
+    graph = TemporalGraph._from_storage(storage, name=task.name)
+    common: dict[str, Any] = {
+        "max_nodes": task.max_nodes,
+        "predicate": task.predicate,
+        "roots": task.shard.local_roots,
+        "jobs": 1,  # never nest pools inside a worker
+    }
+    if task.kind == "census":
+        return counting.run_census(
+            graph,
+            task.n_events,
+            task.constraints,
+            **common,
+            **task.options,
+        )
+    if task.kind == "counts":
+        return counting.count_motifs(
+            graph,
+            task.n_events,
+            task.constraints,
+            **common,
+            **task.options,
+        )
+    if task.kind == "pairs":
+        return counting.count_event_pairs(
+            graph,
+            task.n_events,
+            task.constraints,
+            **common,
+        )
+    if task.kind == "total":
+        return counting.total_instances(
+            graph,
+            task.n_events,
+            task.constraints,
+            **common,
+        )
+    if task.kind == "instances":
+        common.pop("jobs")  # enumerate_instances parallelizes via this engine
+        instances = enumeration.enumerate_instances(
+            graph,
+            task.n_events,
+            task.constraints,
+            **common,
+        )
+        return [task.shard.to_global(inst) for inst in instances]
+    raise ValueError(f"unknown shard task kind {task.kind!r}")
+
+
+def _execute(
+    kind: str,
+    graph: TemporalGraph,
+    n_events: int,
+    constraints: TimingConstraints,
+    *,
+    jobs: int | None,
+    max_nodes: int | None,
+    predicate: Predicate | None,
+    options: dict | None = None,
+) -> tuple[list[Shard], list]:
+    n_jobs = resolve_jobs(jobs)
+    delta = constraints.loose_timespan_bound(n_events)
+    if is_shard_safe(predicate) and math.isfinite(delta):
+        shards = plan_shards(graph, delta, n_jobs)
+    else:
+        shards = plan_root_shards(graph, n_jobs)
+    events = graph.events
+    tasks = [
+        _ShardTask(
+            kind=kind,
+            events=events[shard.ev_lo : shard.ev_hi],
+            backend=graph.backend,
+            name=graph.name,
+            shard=shard,
+            n_events=n_events,
+            constraints=constraints,
+            max_nodes=max_nodes,
+            predicate=predicate,
+            options=options or {},
+        )
+        for shard in shards
+    ]
+    return shards, get_executor(n_jobs).map(_run_shard, tasks)
+
+
+def parallel_count_motifs(
+    graph: TemporalGraph,
+    n_events: int,
+    constraints: TimingConstraints,
+    *,
+    jobs: int | None = None,
+    max_nodes: int | None = None,
+    node_counts: Iterable[int] | None = None,
+    predicate: Predicate | None = None,
+) -> Counter:
+    """Sharded :func:`repro.algorithms.counting.count_motifs`."""
+    options = {"node_counts": set(node_counts) if node_counts is not None else None}
+    _shards, results = _execute(
+        "counts",
+        graph,
+        n_events,
+        constraints,
+        jobs=jobs,
+        max_nodes=max_nodes,
+        predicate=predicate,
+        options=options,
+    )
+    return merge_counts(results)
+
+
+def parallel_count_event_pairs(
+    graph: TemporalGraph,
+    n_events: int,
+    constraints: TimingConstraints,
+    *,
+    jobs: int | None = None,
+    max_nodes: int | None = None,
+    predicate: Predicate | None = None,
+) -> Counter:
+    """Sharded :func:`repro.algorithms.counting.count_event_pairs`."""
+    _shards, results = _execute(
+        "pairs",
+        graph,
+        n_events,
+        constraints,
+        jobs=jobs,
+        max_nodes=max_nodes,
+        predicate=predicate,
+    )
+    return merge_counts(results)
+
+
+def parallel_total_instances(
+    graph: TemporalGraph,
+    n_events: int,
+    constraints: TimingConstraints,
+    *,
+    jobs: int | None = None,
+    max_nodes: int | None = None,
+    predicate: Predicate | None = None,
+) -> int:
+    """Sharded :func:`repro.algorithms.counting.total_instances`."""
+    _shards, results = _execute(
+        "total",
+        graph,
+        n_events,
+        constraints,
+        jobs=jobs,
+        max_nodes=max_nodes,
+        predicate=predicate,
+    )
+    return sum(results)
+
+
+def parallel_run_census(
+    graph: TemporalGraph,
+    n_events: int,
+    constraints: TimingConstraints,
+    *,
+    jobs: int | None = None,
+    max_nodes: int | None = None,
+    predicate: Predicate | None = None,
+    collect_timespans: bool = False,
+    collect_positions: bool = False,
+    timespan_codes: Sequence[str] | None = None,
+    position_codes: Sequence[str] | None = None,
+    sample_cap: int,
+):
+    """Sharded :func:`repro.algorithms.counting.run_census`.
+
+    Each shard caps its sample lists at the same ``sample_cap``; the merge
+    re-caps the concatenation, which reproduces the serial pass exactly
+    (capped lists are prefixes, and concatenation preserves prefixes).
+    """
+    options = {
+        "collect_timespans": collect_timespans,
+        "collect_positions": collect_positions,
+        "timespan_codes": timespan_codes,
+        "position_codes": position_codes,
+        "sample_cap": sample_cap,
+    }
+    _shards, results = _execute(
+        "census",
+        graph,
+        n_events,
+        constraints,
+        jobs=jobs,
+        max_nodes=max_nodes,
+        predicate=predicate,
+        options=options,
+    )
+    return merge_censuses(results, sample_cap=sample_cap)
+
+
+def parallel_enumerate(
+    graph: TemporalGraph,
+    n_events: int,
+    constraints: TimingConstraints,
+    *,
+    jobs: int | None = None,
+    max_nodes: int | None = None,
+    predicate: Predicate | None = None,
+) -> list[Instance]:
+    """Sharded instance enumeration, in the exact serial yield order.
+
+    Returns a list (not a generator): all shards must complete before the
+    merged, anchor-deduplicated sequence is known to be serial-identical.
+    """
+    shards, results = _execute(
+        "instances",
+        graph,
+        n_events,
+        constraints,
+        jobs=jobs,
+        max_nodes=max_nodes,
+        predicate=predicate,
+    )
+    return merge_instances(shards, results)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    payloads: Iterable[T],
+    *,
+    jobs: int | None = None,
+) -> list[R]:
+    """Order-preserving fan-out of arbitrary picklable payloads.
+
+    The generic escape hatch for embarrassingly parallel work that is not
+    a shard census — e.g. null-model shuffle-ensemble replicas, where each
+    payload carries a graph's events and a seed.
+    """
+    return get_executor(jobs).map(fn, payloads)
+
+
+__all__ = [
+    "is_shard_safe",
+    "mark_shard_safe",
+    "parallel_count_event_pairs",
+    "parallel_count_motifs",
+    "parallel_enumerate",
+    "parallel_map",
+    "parallel_run_census",
+    "parallel_total_instances",
+    "shard_graph",
+]

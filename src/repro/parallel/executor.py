@@ -1,0 +1,158 @@
+"""Process-pool execution with a serial fallback and ``REPRO_JOBS`` control.
+
+Job-count resolution, in priority order:
+
+1. an explicit ``jobs=`` argument (``None`` means "not specified"),
+2. the session default installed by :func:`set_default_jobs` /
+   :func:`default_jobs` (how the ``--jobs`` CLI flag reaches every
+   experiment without threading a parameter through each one),
+3. the ``REPRO_JOBS`` environment variable,
+4. serial (1).
+
+A resolved value ``<= 0`` means "one worker per CPU".  Inside a pool
+worker (a daemonic process) resolution always yields 1, so sharded calls
+nested under a parallel ancestor run serially instead of attempting a
+forbidden grandchild pool.
+
+:class:`ParallelExecutor` fans work out over a ``multiprocessing`` pool
+(fork start method where available, so workers inherit loaded modules
+and the parent's graph pages copy-on-write).  If the pool cannot be
+created, or the workload fails a picklability probe (the function and
+the first payload — representative because shard payloads are
+homogeneous), it degrades to in-process serial execution with a
+:class:`RuntimeWarning` — parallelism is an optimization, never a
+requirement.  Exceptions raised *inside* workers are real errors and
+propagate with their original type.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import warnings
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when neither an argument nor the
+#: session default specifies a job count.
+ENV_JOBS = "REPRO_JOBS"
+
+_default_jobs: int | None = None
+
+
+def set_default_jobs(jobs: int | None) -> None:
+    """Install (or clear, with ``None``) the session-wide default job count."""
+    global _default_jobs
+    _default_jobs = None if jobs is None else int(jobs)
+
+
+def get_default_jobs() -> int | None:
+    """The session-wide default job count, if one is installed."""
+    return _default_jobs
+
+
+@contextmanager
+def default_jobs(jobs: int | None) -> Iterator[None]:
+    """Temporarily install a session default job count."""
+    previous = _default_jobs
+    set_default_jobs(jobs)
+    try:
+        yield
+    finally:
+        set_default_jobs(previous)
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a job count per the priority order in the module docstring."""
+    if jobs is None:
+        jobs = _default_jobs
+    if jobs is None:
+        raw = os.environ.get(ENV_JOBS, "").strip()
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring non-integer {ENV_JOBS}={raw!r}; running serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                jobs = 1
+        else:
+            jobs = 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    if jobs > 1 and multiprocessing.current_process().daemon:
+        return 1
+    return jobs
+
+
+class SerialExecutor:
+    """In-process execution: the reference semantics every pool must match."""
+
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class ParallelExecutor:
+    """Order-preserving fan-out over a process pool.
+
+    ``map`` submits one task per item (``chunksize=1`` — shard workloads
+    are few and coarse) and returns results in submission order, which is
+    what keeps merged outputs deterministic.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 2:
+            raise ValueError("ParallelExecutor needs jobs >= 2; use SerialExecutor")
+        self.jobs = int(jobs)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        work: Sequence[T] = list(items)
+        if len(work) <= 1:
+            return [fn(item) for item in work]
+        # Probe picklability (the function and the first payload — shard
+        # payloads are homogeneous, so it stands in for the rest) and pool
+        # creation up front, so the only exceptions escaping the pooled
+        # map below are real worker errors — which must propagate with
+        # their original type, never trigger a silent serial re-run.
+        try:
+            pickle.dumps(fn)
+            pickle.dumps(work[0])
+        except Exception as exc:
+            warnings.warn(
+                f"payload not picklable ({exc!r}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(item) for item in work]
+        try:
+            context = _pool_context()
+            pool = context.Pool(processes=min(self.jobs, len(work)))
+        except (ImportError, OSError, PermissionError) as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(item) for item in work]
+        with pool:
+            return pool.map(fn, work, chunksize=1)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def get_executor(jobs: int | None = None) -> SerialExecutor | ParallelExecutor:
+    """The executor matching the resolved job count."""
+    resolved = resolve_jobs(jobs)
+    return SerialExecutor() if resolved <= 1 else ParallelExecutor(resolved)

@@ -6,7 +6,10 @@ dataset-backed tests use small scales so the whole suite stays fast.
 The session-scoped, parametrized :func:`storage_backend` fixture runs the
 entire suite once per registered storage backend (``REPRO_STORAGE=list``
 and ``REPRO_STORAGE=columnar``), so every seed test doubles as a parity
-check of the columnar engine.
+check of the columnar engine.  When ``REPRO_STORAGE`` is already set in
+the environment the suite runs once, pinned to that backend — this is how
+the CI matrix runs one backend per job instead of every backend in every
+job.
 """
 
 from __future__ import annotations
@@ -22,7 +25,12 @@ from repro.datasets.registry import get_dataset
 from repro.storage import ENV_VAR
 
 
-@pytest.fixture(scope="session", autouse=True, params=["list", "columnar"])
+def _session_backends() -> list[str]:
+    forced = os.environ.get(ENV_VAR)
+    return [forced] if forced else ["list", "columnar"]
+
+
+@pytest.fixture(scope="session", autouse=True, params=_session_backends())
 def storage_backend(request: pytest.FixtureRequest):
     """Default storage backend for every graph built during the session."""
     previous = os.environ.get(ENV_VAR)

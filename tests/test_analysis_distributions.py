@@ -24,7 +24,7 @@ from repro.analysis.timespan import (
     timespan_summary,
     uniformity,
 )
-from repro.core.eventpairs import ALL_PAIR_TYPES, PairType
+from repro.core.eventpairs import PairType
 
 
 class TestPositionHistogram:

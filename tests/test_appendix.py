@@ -1,7 +1,5 @@
 """Tests for the appendix experiments (Figures 7–11)."""
 
-import pytest
-
 from repro.experiments import run_experiment
 from repro.experiments.appendix import (
     FIGURE7_DATASETS,

@@ -12,7 +12,6 @@ from repro.analysis.burstiness import (
     memory_coefficient,
     node_burstiness,
 )
-from repro.core.temporal_graph import TemporalGraph
 from repro.randomization.shuffles import link_shuffle, permuted_timestamps
 
 

@@ -53,7 +53,7 @@ class TestIO:
     def test_integral_formatting(self, tmp_path):
         path = tmp_path / "calls.txt"
         write_durative_event_list([DurativeEvent(0, 1, 5.0, 30.0)], path)
-        body = [l for l in path.read_text().splitlines() if not l.startswith("#")]
+        body = [ln for ln in path.read_text().splitlines() if not ln.startswith("#")]
         assert body == ["0 1 5 30"]
 
     def test_malformed_reports_lineno(self, tmp_path):

@@ -1,9 +1,5 @@
 """Tests for the experiment-harness helpers and 4-event census corners."""
 
-import math
-
-import pytest
-
 from repro.algorithms.counting import run_census
 from repro.core.constraints import TimingConstraints
 from repro.core.temporal_graph import TemporalGraph

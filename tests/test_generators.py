@@ -1,6 +1,5 @@
 """Tests for the activity-model dataset generator."""
 
-import numpy as np
 import pytest
 
 from repro.core.eventpairs import PairType, classify_pair

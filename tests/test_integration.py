@@ -4,8 +4,6 @@ These wire several subsystems together the way downstream users would and
 check the global consistency relations between them.
 """
 
-import pytest
-
 from repro.algorithms.components import temporal_components
 from repro.algorithms.counting import count_motifs, run_census
 from repro.algorithms.restrictions import (

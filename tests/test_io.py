@@ -18,7 +18,7 @@ class TestRoundtrip:
     def test_integral_times_written_as_ints(self, tmp_path, triangle_graph):
         path = tmp_path / "g.txt"
         write_event_list(triangle_graph, path)
-        body = [l for l in path.read_text().splitlines() if not l.startswith("#")]
+        body = [ln for ln in path.read_text().splitlines() if not ln.startswith("#")]
         assert body[0] == "0 1 10"
 
     def test_float_times_preserved(self, tmp_path):

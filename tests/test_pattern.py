@@ -104,7 +104,8 @@ class TestMatching:
 
 class TestLabels:
     def test_edge_labels(self):
-        labeler = lambda ev: "big" if ev.t > 10 else "small"
+        def labeler(ev):
+            return "big" if ev.t > 10 else "small"
         p = EventPattern(
             events=[PatternEvent("A", "B", edge_label="small"),
                     PatternEvent("B", "C", edge_label="big")],

@@ -60,3 +60,34 @@ class TestCLI:
         assert cli_main(["table99"]) == 2
         err = capsys.readouterr().err
         assert "known experiments" in err
+
+    def test_jobs_flag_runs_experiment_sharded(self, capsys):
+        code = cli_main(
+            ["table3", "--jobs", "2", "--scale", "0.05",
+             "--datasets", "sms-copenhagen"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+
+    def test_jobs_flag_matches_serial_output(self, capsys):
+        args = ["table2", "--scale", "0.05", "--datasets", "sms-copenhagen"]
+        assert cli_main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert cli_main(args + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # identical up to the trailing wall-clock line
+        def strip(text):
+            return [
+                line for line in text.splitlines()
+                if not line.startswith("[done in")
+            ]
+
+        assert strip(parallel_out) == strip(serial_out)
+
+    def test_help_documents_jobs(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["--help"])
+        out = capsys.readouterr().out
+        assert "--jobs" in out
+        assert "REPRO_JOBS" in out
