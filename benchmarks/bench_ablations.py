@@ -37,7 +37,11 @@ def test_sampled_counting_q01(benchmark, sms):
     def sample():
         rng_seed[0] += 1
         return estimate_counts_root_sampling(
-            sms, 3, CONSTRAINTS, q=0.1, max_nodes=3,
+            sms,
+            3,
+            CONSTRAINTS,
+            q=0.1,
+            max_nodes=3,
             rng=np.random.default_rng(rng_seed[0]),
         )
 
@@ -106,8 +110,11 @@ def test_fast_two_node_counter_vs_engine(benchmark, sms):
     fast = benchmark(lambda: count_two_node_motifs(sms, 3, delta_w))
     engine = Counter(
         count_motifs(
-            sms, 3, TimingConstraints.only_w(delta_w),
-            max_nodes=2, node_counts={2},
+            sms,
+            3,
+            TimingConstraints.only_w(delta_w),
+            max_nodes=2,
+            node_counts={2},
         )
     )
     assert fast == engine

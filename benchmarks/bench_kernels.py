@@ -55,8 +55,12 @@ def test_count_4e_motifs_sms(benchmark, sms):
 def test_full_census_sms(benchmark, sms):
     census = benchmark(
         lambda: run_census(
-            sms, 3, CONSTRAINTS, max_nodes=3,
-            collect_timespans=True, collect_positions=True,
+            sms,
+            3,
+            CONSTRAINTS,
+            max_nodes=3,
+            collect_timespans=True,
+            collect_positions=True,
         )
     )
     assert census.total > 0
@@ -65,7 +69,10 @@ def test_full_census_sms(benchmark, sms):
 def test_consecutive_restriction_overhead(benchmark, sms):
     counts = benchmark(
         lambda: count_motifs(
-            sms, 3, CONSTRAINTS, max_nodes=3,
+            sms,
+            3,
+            CONSTRAINTS,
+            max_nodes=3,
             predicate=satisfies_consecutive_events,
         )
     )

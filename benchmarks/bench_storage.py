@@ -1,13 +1,17 @@
 """Storage-engine kernel benchmarks: construction, window queries, census.
 
-Compares every registered backend on the three kernels the storage
-contract was designed around:
+Compares every registered backend on the kernels the storage contract was
+designed around:
 
 * **construction** — indexing a pre-validated 100k-event generated stream
   (the acceptance bar of the storage PR: columnar ≥ 1.5× faster than the
   plain-list reference);
 * **window query** — per-node closed-window bisections, the restriction
-  checkers' hot path;
+  checkers' hot path, issued one query at a time;
+* **batched window query** — the same sweep through
+  ``count_node_events_in_batch``, the vectorization seam of array-backed
+  engines (the numpy backend's acceptance bar: ≥ 2× faster than
+  columnar);
 * **census** — an end-to-end 3-event motif census through the enumeration
   engine, exercising the half-open candidate query.
 
@@ -16,6 +20,9 @@ quick comparison table and an optional BENCH-format JSON record::
 
     PYTHONPATH=src python benchmarks/bench_storage.py --events 20000 \
         --json bench_storage.json
+
+Committed baselines for the CI perf-regression gate live in
+``benchmarks/baselines/``; see ``benchmarks/check_regression.py``.
 """
 
 from __future__ import annotations
@@ -81,6 +88,24 @@ def test_node_window_queries(benchmark, stream_events, backend):
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
+def test_node_window_queries_batched(benchmark, stream_events, backend):
+    storage = get_backend(backend).from_events(stream_events, presorted=True)
+    nodes, t_los, t_his = _window_sweep_queries(storage)
+    counts = benchmark(lambda: storage.count_node_events_in_batch(nodes, t_los, t_his))
+    assert sum(counts) > 0
+
+
+def _window_sweep_queries(storage) -> tuple[list[int], list[float], list[float]]:
+    """The window sweep as one batch: 2 000 nodes, 10 rotating windows."""
+    nodes = sorted(storage.nodes)[:2_000]
+    t0 = storage.start_time
+    span = storage.end_time - t0
+    t_los = [t0 + (i % 10) * span / 10 for i in range(len(nodes))]
+    t_his = [lo + span / 10 for lo in t_los]
+    return nodes, t_los, t_his
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 def test_census_small_sms(benchmark, backend):
     graph = get_dataset("sms-copenhagen", scale=0.25).with_backend(backend)
     census = benchmark(
@@ -98,6 +123,9 @@ def _best_of(fn, rounds: int = 5) -> float:
     return best
 
 
+KERNELS = ("construct", "window", "window_batch", "census")
+
+
 def compare(n_events: int = STREAM_CONFIG.n_events) -> dict[str, dict[str, float]]:
     """Best-of-5 kernel seconds per backend (standalone comparison table)."""
     config = replace(STREAM_CONFIG, n_events=n_events)
@@ -107,19 +135,18 @@ def compare(n_events: int = STREAM_CONFIG.n_events) -> dict[str, dict[str, float
     for backend in BACKENDS:
         cls = get_backend(backend)
         storage = cls.from_events(events, presorted=True)
-        nodes = sorted(storage.nodes)[:2_000]
-        t0 = storage.start_time
-        span = storage.end_time - t0
+        nodes, t_los, t_his = _window_sweep_queries(storage)
         graph = sms.with_backend(backend)
         out[backend] = {
-            "construct": _best_of(
-                lambda: cls.from_events(events, presorted=True)
-            ),
+            "construct": _best_of(lambda: cls.from_events(events, presorted=True)),
             "window": _best_of(
                 lambda: [
-                    storage.count_node_events_in(n, t0, t0 + span / 10)
-                    for n in nodes
+                    storage.count_node_events_in(n, lo, hi)
+                    for n, lo, hi in zip(nodes, t_los, t_his)
                 ]
+            ),
+            "window_batch": _best_of(
+                lambda: storage.count_node_events_in_batch(nodes, t_los, t_his)
             ),
             "census": _best_of(
                 lambda: run_census(graph, 3, CONSTRAINTS, max_nodes=3), rounds=3
@@ -131,21 +158,27 @@ def compare(n_events: int = STREAM_CONFIG.n_events) -> dict[str, dict[str, float
 def main(argv: list[str] | None = None) -> int:  # pragma: no cover - manual tool
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--events", type=int, default=STREAM_CONFIG.n_events,
+        "--events",
+        type=int,
+        default=STREAM_CONFIG.n_events,
         help="generated stream size for the construction/window kernels",
     )
     parser.add_argument(
-        "--json", metavar="PATH", default=None,
+        "--json",
+        metavar="PATH",
+        default=None,
         help="also write the BENCH json record to PATH",
     )
     args = parser.parse_args(argv)
     results = compare(args.events)
-    kernels = ("construct", "window", "census")
-    print(f"{'backend':<10}" + "".join(f"{k:>12}" for k in kernels))
+    print(f"{'backend':<10}" + "".join(f"{k:>14}" for k in KERNELS))
     for backend, row in results.items():
-        print(f"{backend:<10}" + "".join(f"{row[k] * 1000:>10.1f}ms" for k in kernels))
+        print(f"{backend:<10}" + "".join(f"{row[k] * 1000:>12.1f}ms" for k in KERNELS))
     ratio = results["list"]["construct"] / results["columnar"]["construct"]
     print(f"\ncolumnar construction speedup over list: {ratio:.2f}x (target >= 1.5x)")
+    if "numpy" in results:
+        ratio = results["columnar"]["window_batch"] / results["numpy"]["window_batch"]
+        print(f"numpy batched-window speedup over columnar: {ratio:.2f}x (target >= 2x)")
     if args.json:
         payload = {
             "benchmark": "bench_storage",
@@ -153,7 +186,7 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - manual too
             "results": [
                 {"backend": backend, "kernel": kernel, "seconds": row[kernel]}
                 for backend, row in results.items()
-                for kernel in kernels
+                for kernel in KERNELS
             ],
         }
         with open(args.json, "w") as fh:

@@ -56,7 +56,11 @@ def main() -> None:
     constraints = TimingConstraints.only_c(1500)
     vanilla = count_motifs(graph, 3, constraints, max_nodes=3, node_counts={3})
     restricted = count_motifs(
-        graph, 3, constraints, max_nodes=3, node_counts={3},
+        graph,
+        3,
+        constraints,
+        max_nodes=3,
+        node_counts={3},
         predicate=satisfies_consecutive_events,
     )
     survival = sum(restricted.values()) / max(sum(vanilla.values()), 1)

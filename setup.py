@@ -5,17 +5,18 @@ Kept in setup.py (rather than pyproject's ``[project]`` table) so
 the ``wheel`` package; pyproject.toml carries only the build backend and
 lint configuration.
 
-NumPy is an optional accelerator (``pip install -e '.[numpy]'``): the
-columnar storage backend vectorizes construction with it and the
-statistics/shuffle modules use it, while the core motif models run on
-the pure-Python paths without it.
+NumPy is an optional accelerator (``pip install -e '.[numpy]'``): it
+unlocks the ``"numpy"`` mmap page storage backend, vectorizes the
+columnar backend's construction, and speeds the statistics/shuffle
+modules, while the core motif models run on the pure-Python paths
+without it.
 """
 
 from setuptools import find_packages, setup
 
 setup(
     name="repro-temporal-motifs",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of ICDE'22 temporal-motif model comparison: four motif "
         "models, null-model experiments, pluggable storage engines, and a "

@@ -65,15 +65,24 @@ def count_motifs(
         from repro.parallel import parallel_count_motifs
 
         return parallel_count_motifs(
-            graph, n_events, constraints,
-            jobs=jobs, max_nodes=max_nodes,
-            node_counts=node_counts, predicate=predicate,
+            graph,
+            n_events,
+            constraints,
+            jobs=jobs,
+            max_nodes=max_nodes,
+            node_counts=node_counts,
+            predicate=predicate,
         )
     wanted = set(node_counts) if node_counts is not None else None
     counts: Counter = Counter()
     for inst in enumerate_instances(
-        graph, n_events, constraints,
-        max_nodes=max_nodes, predicate=predicate, roots=roots, jobs=1,
+        graph,
+        n_events,
+        constraints,
+        max_nodes=max_nodes,
+        predicate=predicate,
+        roots=roots,
+        jobs=1,
     ):
         code = canonical_code([graph.events[i].edge for i in inst])
         if wanted is not None and len(set(code)) not in wanted:
@@ -102,13 +111,22 @@ def count_event_pairs(
         from repro.parallel import parallel_count_event_pairs
 
         return parallel_count_event_pairs(
-            graph, n_events, constraints,
-            jobs=jobs, max_nodes=max_nodes, predicate=predicate,
+            graph,
+            n_events,
+            constraints,
+            jobs=jobs,
+            max_nodes=max_nodes,
+            predicate=predicate,
         )
     counts: Counter = Counter()
     for inst in enumerate_instances(
-        graph, n_events, constraints,
-        max_nodes=max_nodes, predicate=predicate, roots=roots, jobs=1,
+        graph,
+        n_events,
+        constraints,
+        max_nodes=max_nodes,
+        predicate=predicate,
+        roots=roots,
+        jobs=1,
     ):
         edges = [graph.events[i].edge for i in inst]
         for first, second in zip(edges, edges[1:]):
@@ -225,8 +243,12 @@ def run_census(
         from repro.parallel import parallel_run_census
 
         return parallel_run_census(
-            graph, n_events, constraints,
-            jobs=jobs, max_nodes=max_nodes, predicate=predicate,
+            graph,
+            n_events,
+            constraints,
+            jobs=jobs,
+            max_nodes=max_nodes,
+            predicate=predicate,
             collect_timespans=collect_timespans,
             collect_positions=collect_positions,
             timespan_codes=timespan_codes,
@@ -240,8 +262,13 @@ def run_census(
     times = graph.times
 
     for inst in enumerate_instances(
-        graph, n_events, constraints,
-        max_nodes=max_nodes, predicate=predicate, roots=roots, jobs=1,
+        graph,
+        n_events,
+        constraints,
+        max_nodes=max_nodes,
+        predicate=predicate,
+        roots=roots,
+        jobs=1,
     ):
         edges = [events[i].edge for i in inst]
         code = canonical_code(edges)
@@ -288,14 +315,23 @@ def total_instances(
         from repro.parallel import parallel_total_instances
 
         return parallel_total_instances(
-            graph, n_events, constraints,
-            jobs=jobs, max_nodes=max_nodes, predicate=predicate,
+            graph,
+            n_events,
+            constraints,
+            jobs=jobs,
+            max_nodes=max_nodes,
+            predicate=predicate,
         )
     return sum(
         1
         for _ in enumerate_instances(
-            graph, n_events, constraints,
-            max_nodes=max_nodes, predicate=predicate, roots=roots, jobs=1,
+            graph,
+            n_events,
+            constraints,
+            max_nodes=max_nodes,
+            predicate=predicate,
+            roots=roots,
+            jobs=1,
         )
     )
 

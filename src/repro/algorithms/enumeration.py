@@ -13,11 +13,16 @@ such that
 
 The engine is a DFS over growing suffixes.  Candidate events for the next
 position are generated through the graph's storage engine
-(:meth:`~repro.storage.base.GraphStorage.node_events_between`): each node
-already in the motif is asked for its events in the admissible half-open
-window — this keeps the work proportional to the number of *extensible*
-events rather than the whole stream, and lets columnar backends answer
-from flat offset indices without materializing per-node lists.
+(:meth:`~repro.storage.base.GraphStorage.adjacent_events_between`): the
+nodes already in the motif are asked — in one batched call — for the
+deduplicated union of their events in the admissible half-open window.
+This keeps the work proportional to the number of *extensible* events
+rather than the whole stream, and it is the engine's vectorization seam:
+the generic implementation unions per-node
+:meth:`~repro.storage.base.GraphStorage.node_events_between` bisections
+(the original per-event path), while array-backed engines such as the
+``"numpy"`` backend prefilter every motif node's successor events with a
+constant number of ``searchsorted`` probes over contiguous columns.
 """
 
 from __future__ import annotations
@@ -91,13 +96,19 @@ def enumerate_instances(
             from repro.parallel import parallel_enumerate
 
             yield from parallel_enumerate(
-                graph, n_events, constraints,
-                jobs=jobs, max_nodes=max_nodes, predicate=predicate,
+                graph,
+                n_events,
+                constraints,
+                jobs=jobs,
+                max_nodes=max_nodes,
+                predicate=predicate,
             )
             return
     events = graph.events
     times = graph.times
-    node_events_between = graph.storage.node_events_between
+    # The storage engine's batched candidate query: vectorized window
+    # prefiltering on array-backed engines, per-node bisection elsewhere.
+    adjacent_events_between = graph.storage.adjacent_events_between
     node_cap = n_events + 1 if max_nodes is None else max_nodes
     yielded = 0
 
@@ -121,9 +132,9 @@ def enumerate_instances(
             seq, nodes = stack.pop()
             t_last = times[seq[-1]]
             deadline = constraints.next_event_deadline(t_root, t_last)
-            candidates = _adjacent_after(
-                node_events_between, nodes, t_last, deadline
-            )
+            if deadline <= t_last:
+                continue
+            candidates = adjacent_events_between(nodes, t_last, deadline)
             for idx in candidates:
                 ev = events[idx]
                 new_nodes = nodes
@@ -147,27 +158,6 @@ def enumerate_instances(
                             return
                 else:
                     stack.append((seq + [idx], new_nodes))
-
-
-def _adjacent_after(
-    node_events_between: Callable[[int, float, float], list[int]],
-    nodes: Sequence[int],
-    t_last: float,
-    deadline: float,
-) -> list[int]:
-    """Event indices adjacent to any node in ``nodes`` with ``t_last < t <= deadline``.
-
-    The strict lower bound of the storage engine's half-open window query
-    enforces the total ordering (no equal timestamps in one motif).  The
-    result is deduplicated (an event touching two motif nodes appears in
-    two adjacency lists) and sorted for determinism.
-    """
-    if deadline <= t_last:
-        return []
-    found: set[int] = set()
-    for node in nodes:
-        found.update(node_events_between(node, t_last, deadline))
-    return sorted(found)
 
 
 def instance_code(graph: TemporalGraph, instance: Instance) -> str:

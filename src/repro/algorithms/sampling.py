@@ -20,7 +20,9 @@ from __future__ import annotations
 import math
 from collections import Counter
 
-import numpy as np
+from repro.core._optional import import_numpy
+
+np = import_numpy()
 
 from repro.algorithms.enumeration import enumerate_instances
 from repro.core.constraints import TimingConstraints

@@ -127,7 +127,10 @@ class StreamMatcher:
         candidates = list(self._partials)
         candidates.append(
             _Partial(
-                events=(), assignment=(), matched=frozenset(), binding={},
+                events=(),
+                assignment=(),
+                matched=frozenset(),
+                binding={},
                 t_first=event.t,
             )
         )

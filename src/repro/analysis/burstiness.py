@@ -20,7 +20,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
+from repro.core._optional import import_numpy
+
+np = import_numpy()
 
 from repro.core.events import interevent_times
 from repro.core.temporal_graph import TemporalGraph

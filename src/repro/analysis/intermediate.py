@@ -13,7 +13,9 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-import numpy as np
+from repro.core._optional import import_numpy
+
+np = import_numpy()
 
 
 def position_histogram(
@@ -70,7 +72,9 @@ def skewness(samples: Iterable[tuple[int, float]], *, event_position: int | None
     return float(np.mean(values) - 0.5)
 
 
-def absolute_skew(samples: Iterable[tuple[int, float]], *, event_position: int | None = None) -> float:
+def absolute_skew(
+    samples: Iterable[tuple[int, float]], *, event_position: int | None = None
+) -> float:
     """Magnitude of the skew, for "does ΔC reduce the bias" comparisons."""
     return abs(skewness(samples, event_position=event_position))
 

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from typing import Hashable, Mapping, Sequence
 
-import numpy as np
+from repro.core._optional import import_numpy
+
+np = import_numpy()
 
 
 def proportions(

@@ -9,7 +9,9 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-import numpy as np
+from repro.core._optional import import_numpy
+
+np = import_numpy()
 
 from repro.core.eventpairs import ALL_PAIR_TYPES
 

@@ -1,0 +1,39 @@
+"""Optional-dependency shims.
+
+NumPy is an optional accelerator for this library: the core motif models
+and the pure-Python storage backends run without it, while dataset
+generation, the shuffle null models, the statistics helpers, and the
+``"numpy"`` storage backend need the real package.  Modules in the second
+group import through :func:`import_numpy`, which keeps *module import*
+dependency-free and defers a clear, actionable error to the first actual
+use — so ``import repro`` always works and the no-NumPy CI leg can run
+everything that does not genuinely need the accelerator.
+"""
+
+from __future__ import annotations
+
+
+class MissingNumpy:
+    """Placeholder whose every attribute access explains what to install."""
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __getattr__(self, name: str):
+        raise ModuleNotFoundError(
+            "this feature requires NumPy, which is not installed; "
+            "install it with: pip install 'repro-temporal-motifs[numpy]'"
+        )
+
+
+def import_numpy():
+    """The ``numpy`` module, or a :class:`MissingNumpy` stand-in.
+
+    The stand-in is falsy, so ``if not np: ...`` detects absence without
+    triggering the explanatory error.
+    """
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised on the no-numpy leg
+        return MissingNumpy()
+    return numpy

@@ -164,7 +164,10 @@ def homophily_gap(
         null_values.append(
             color_assortativity(
                 count_colored_motifs(
-                    graph, n_events, constraints, null_coloring,
+                    graph,
+                    n_events,
+                    constraints,
+                    null_coloring,
                     max_nodes=max_nodes,
                 )
             )

@@ -13,12 +13,14 @@ depend on:
   dynamic graphlet restriction),
 * the static projection (used for static inducedness checks).
 
-Two backends ship with the library: ``"list"`` (the original plain-list
-indices — the default) and ``"columnar"`` (flat ``array`` columns with
-CSR offsets — cheaper to build, lighter in memory).  Select one per graph
-with ``backend=...`` or globally via the ``REPRO_STORAGE`` environment
-variable; every backend answers every query identically, which the parity
-test-suite enforces.
+Three backends ship with the library: ``"list"`` (the original plain-list
+indices — the default), ``"columnar"`` (flat ``array`` columns with CSR
+offsets — cheaper to build, lighter in memory), and ``"numpy"``
+(contiguous ``ndarray`` columns with vectorized ``searchsorted`` window
+kernels and memory-mapped persistence via :meth:`TemporalGraph.save` /
+:meth:`TemporalGraph.load`).  Select one per graph with ``backend=...`` or
+globally via the ``REPRO_STORAGE`` environment variable; every backend
+answers every query identically, which the parity test-suite enforces.
 """
 
 from __future__ import annotations
@@ -228,6 +230,42 @@ class TemporalGraph:
         from :func:`repro.algorithms.streaming.match_live`.
         """
         return self._storage.event_at(idx)
+
+    # ------------------------------------------------------------------
+    # persistence (numpy page directory, mmap-loadable)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write this graph as a memory-mappable page directory.
+
+        The layout is the ``"numpy"`` backend's ``.npy`` page format
+        (columns + CSR index pages + ``meta.json``); graphs on any other
+        backend are converted on the way out.  Reopen with :meth:`load` —
+        with ``mmap=True`` a multi-million-event stream opens without
+        materializing the event list.  Requires NumPy.
+        """
+        from repro.storage.numpy_backend import NumpyStorage
+
+        storage = self._storage
+        if not isinstance(storage, NumpyStorage):
+            storage = NumpyStorage.from_events(storage.events, presorted=True)
+        storage.save(path, name=self.name)
+
+    @classmethod
+    def load(cls, path, *, mmap: bool = True, name: str | None = None) -> "TemporalGraph":
+        """Reopen a :meth:`save` page directory as a ``"numpy"``-backed graph.
+
+        With ``mmap=True`` (the default) every page is opened read-only
+        via ``np.load(..., mmap_mode="r")``: queries fault in only the
+        pages they touch, and appends land in an in-memory tail without
+        ever writing to the backing files.  ``name`` overrides the name
+        recorded in the directory's manifest.
+        """
+        from repro.storage.numpy_backend import load_pages
+
+        storage, meta = load_pages(path, mmap=mmap)
+        return cls._from_storage(
+            storage, name=meta.get("name", "") if name is None else name
+        )
 
     # ------------------------------------------------------------------
     # mutation (live/streaming graphs)

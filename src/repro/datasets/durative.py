@@ -18,7 +18,9 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Sequence
 
-import numpy as np
+from repro.core._optional import import_numpy
+
+np = import_numpy()
 
 from repro.core.events import DurativeEvent, Event
 from repro.core.temporal_graph import TemporalGraph
@@ -79,8 +81,10 @@ def read_durative_event_list(path: str | Path) -> list[DurativeEvent]:
             try:
                 out.append(
                     DurativeEvent(
-                        int(parts[0]), int(parts[1]),
-                        float(parts[2]), float(parts[3]),
+                        int(parts[0]),
+                        int(parts[1]),
+                        float(parts[2]),
+                        float(parts[3]),
                     )
                 )
             except ValueError as exc:

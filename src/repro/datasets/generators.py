@@ -29,7 +29,9 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field, replace
 
-import numpy as np
+from repro.core._optional import import_numpy
+
+np = import_numpy()
 
 from repro.core.events import Event
 from repro.core.temporal_graph import TemporalGraph
@@ -198,8 +200,14 @@ class ActivityModel:
             if heap and heap[0].t <= next_background:
                 item = heapq.heappop(heap)
                 self._emit(
-                    item.u, item.v, item.t, item.depth, item.origin,
-                    heap, emitted, used_edges,
+                    item.u,
+                    item.v,
+                    item.t,
+                    item.depth,
+                    item.origin,
+                    heap,
+                    emitted,
+                    used_edges,
                 )
             else:
                 t = next_background

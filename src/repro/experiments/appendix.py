@@ -22,7 +22,11 @@ from repro.experiments.base import ExperimentResult
 
 FIGURE7_DATASETS = ("calls-copenhagen", "college-msg", "email", "fb-wall")
 FIGURE8_DATASETS = (
-    "bitcoin-otc", "sms-a", "sms-copenhagen", "stackoverflow", "superuser",
+    "bitcoin-otc",
+    "sms-a",
+    "sms-copenhagen",
+    "stackoverflow",
+    "superuser",
 )
 FIGURE9_PANELS = (
     ("calls-copenhagen", "010102"),
@@ -32,10 +36,17 @@ FIGURE9_PANELS = (
     ("superuser", "01022123"),
 )
 FIGURE10_DATASETS = (
-    "fb-wall", "sms-copenhagen", "superuser", "calls-copenhagen",
+    "fb-wall",
+    "sms-copenhagen",
+    "superuser",
+    "calls-copenhagen",
 )
 FIGURE11_DATASETS = (
-    "college-msg", "fb-wall", "stackoverflow", "superuser", "bitcoin-otc",
+    "college-msg",
+    "fb-wall",
+    "stackoverflow",
+    "superuser",
+    "bitcoin-otc",
 )
 
 

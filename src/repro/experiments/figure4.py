@@ -79,7 +79,10 @@ def run(
                 "skew": skew,
                 "samples": len(samples),
             }
-            bins = [f"{int(100 * i / n_bins)}-{int(100 * (i + 1) / n_bins)}%" for i in range(n_bins)]
+            bins = [
+                f"{int(100 * i / n_bins)}-{int(100 * (i + 1) / n_bins)}%"
+                for i in range(n_bins)
+            ]
             sections.append(
                 bar_chart(
                     bins,

@@ -20,7 +20,9 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable, NamedTuple
 
-import numpy as np
+from repro.core._optional import import_numpy
+
+np = import_numpy()
 
 from repro.algorithms.counting import count_motifs
 from repro.analysis.textplot import table
@@ -64,8 +66,12 @@ def _count_replica(replica: _Replica) -> Counter:
     graph = TemporalGraph(replica.events, backend=replica.backend)
     shuffled = NULL_MODELS[replica.label](graph, seed=replica.seed)
     return count_motifs(
-        shuffled, 3, TimingConstraints.only_c(replica.delta_c),
-        max_nodes=3, node_counts={3}, jobs=1,
+        shuffled,
+        3,
+        TimingConstraints.only_c(replica.delta_c),
+        max_nodes=3,
+        node_counts={3},
+        jobs=1,
     )
 
 

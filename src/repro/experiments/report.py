@@ -20,10 +20,23 @@ from repro.experiments.runner import EXPERIMENTS, run_experiment
 
 #: Default report order: main text artifacts, then the appendix.
 DEFAULT_ORDER: tuple[str, ...] = (
-    "table1", "figure1", "table2", "table3", "table4", "table5",
-    "figure3", "figure4", "figure5", "figure6",
-    "table6", "table7",
-    "figure7", "figure8", "figure9", "figure10", "figure11",
+    "table1",
+    "figure1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "table6",
+    "table7",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
     "nullmodels",
 )
 

@@ -57,8 +57,15 @@ def run(
         }
     text = table(
         (
-            "Name", "Nodes", "Events", "Edges", "#T", "|Eu|/|E|", "m(Δt)",
-            "paper |Eu|/|E|", "paper m(Δt)",
+            "Name",
+            "Nodes",
+            "Events",
+            "Edges",
+            "#T",
+            "|Eu|/|E|",
+            "m(Δt)",
+            "paper |Eu|/|E|",
+            "paper m(Δt)",
         ),
         rows,
         title=TITLE,

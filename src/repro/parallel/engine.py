@@ -56,10 +56,18 @@ def is_shard_safe(predicate: Predicate | None) -> bool:
 
 @dataclass(frozen=True)
 class _ShardTask:
-    """Everything one worker needs, picklable and self-contained."""
+    """Everything one worker needs, picklable and self-contained.
+
+    ``payload`` is whatever the parent storage's
+    :meth:`~repro.storage.base.GraphStorage.shard_payload` produced for
+    the shard's event range — an event tuple on the generic path, column
+    array slices on array-backed engines — and the worker rebuilds its
+    subgraph through ``from_shard_payload`` on the same backend class,
+    skipping the per-event boxing round-trip.
+    """
 
     kind: str
-    events: tuple
+    payload: Any
     backend: str
     name: str
     shard: Shard
@@ -75,7 +83,7 @@ def _run_shard(task: _ShardTask):
     # their jobs= paths, so the engine must not import them at module level.
     from repro.algorithms import counting, enumeration
 
-    storage = get_backend(task.backend).from_events(task.events, presorted=True)
+    storage = get_backend(task.backend).from_shard_payload(task.payload)
     graph = TemporalGraph._from_storage(storage, name=task.name)
     common: dict[str, Any] = {
         "max_nodes": task.max_nodes,
@@ -142,11 +150,11 @@ def _execute(
         shards = plan_shards(graph, delta, n_jobs)
     else:
         shards = plan_root_shards(graph, n_jobs)
-    events = graph.events
+    storage = graph.storage
     tasks = [
         _ShardTask(
             kind=kind,
-            events=events[shard.ev_lo : shard.ev_hi],
+            payload=storage.shard_payload(shard.ev_lo, shard.ev_hi),
             backend=graph.backend,
             name=graph.name,
             shard=shard,

@@ -36,7 +36,6 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.temporal_graph import TemporalGraph
-from repro.storage import get_backend
 
 
 @dataclass(frozen=True)
@@ -153,10 +152,11 @@ def plan_root_shards(graph: TemporalGraph, n_shards: int) -> list[Shard]:
 def shard_graph(graph: TemporalGraph, shard: Shard) -> TemporalGraph:
     """Materialize one shard's subgraph under the parent graph's backend.
 
-    The slice of a time-sorted event tuple is itself time-sorted, so the
-    storage engine is built with ``presorted=True`` and event index ``i``
-    of the result corresponds to global index ``shard.ev_lo + i``.
+    Routed through :meth:`~repro.storage.base.GraphStorage.slice_range`:
+    the slice of a time-sorted stream is itself time-sorted, so no
+    re-validation happens (array-backed engines hand out zero-copy column
+    views) and event index ``i`` of the result corresponds to global index
+    ``shard.ev_lo + i``.
     """
-    events = graph.events[shard.ev_lo : shard.ev_hi]
-    storage = get_backend(graph.backend).from_events(events, presorted=True)
+    storage = graph.storage.slice_range(shard.ev_lo, shard.ev_hi)
     return TemporalGraph._from_storage(storage, name=graph.name)

@@ -20,7 +20,9 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Iterator
 
-import numpy as np
+from repro.core._optional import import_numpy
+
+np = import_numpy()
 
 from repro.core.eventpairs import ALL_PAIR_TYPES, PairType, classify_pair
 from repro.core.events import Event

@@ -19,7 +19,9 @@ built by destroying one kind of correlation while preserving others:
 
 from __future__ import annotations
 
-import numpy as np
+from repro.core._optional import import_numpy
+
+np = import_numpy()
 
 from repro.core.events import Event
 from repro.core.temporal_graph import TemporalGraph

@@ -8,10 +8,18 @@ backends register themselves here under a short name:
   original dict-of-lists representation (default, reference semantics);
 * ``"columnar"`` — :class:`~repro.storage.columnar.ColumnarStorage`, flat
   ``array('q')``/``array('d')`` columns with CSR offsets: faster to build,
-  lighter in memory, same answers.
+  lighter in memory, same answers;
+* ``"numpy"`` — :class:`~repro.storage.numpy_backend.NumpyStorage`,
+  contiguous ``ndarray`` columns with lazy CSR indices: vectorized
+  ``searchsorted`` window kernels, batched queries, zero-copy time
+  slices, and memory-mapped persistence
+  (:meth:`~repro.storage.numpy_backend.NumpyStorage.save` /
+  :meth:`~repro.storage.numpy_backend.NumpyStorage.load` over an
+  ``.npy`` page directory).  Registered only when NumPy is importable.
 
 Selection order: an explicit ``backend=`` argument wins, then the
-``REPRO_STORAGE`` environment variable, then :data:`DEFAULT_BACKEND`.
+``REPRO_STORAGE`` environment variable (``REPRO_STORAGE=numpy`` turns the
+tensor engine on globally), then :data:`DEFAULT_BACKEND`.
 
 Adding a backend is three steps: subclass ``GraphStorage`` (implement the
 abstract constructors/queries; the base class supplies generic slices,
@@ -29,6 +37,8 @@ from repro.core.events import Event
 from repro.storage.base import GraphStorage
 from repro.storage.columnar import ColumnarStorage
 from repro.storage.list_backend import ListStorage
+from repro.storage.numpy_backend import NumpyStorage
+from repro.storage import numpy_backend as _numpy_backend
 
 #: Environment variable consulted when no explicit backend is requested.
 ENV_VAR = "REPRO_STORAGE"
@@ -77,6 +87,8 @@ def make_storage(
 
 register_backend(ListStorage.backend_name, ListStorage)
 register_backend(ColumnarStorage.backend_name, ColumnarStorage)
+if _numpy_backend.available():
+    register_backend(NumpyStorage.backend_name, NumpyStorage)
 
 __all__ = [
     "ColumnarStorage",
@@ -84,6 +96,7 @@ __all__ = [
     "ENV_VAR",
     "GraphStorage",
     "ListStorage",
+    "NumpyStorage",
     "available_backends",
     "get_backend",
     "make_storage",

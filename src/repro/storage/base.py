@@ -7,8 +7,9 @@ delegates *all* index maintenance and window bisection here, so backends
 can evolve independently of the motif models: a backend may keep plain
 Python lists (:class:`~repro.storage.list_backend.ListStorage`), flat
 columns with CSR offsets
-(:class:`~repro.storage.columnar.ColumnarStorage`), or — in the future —
-NumPy/mmap pages, without touching enumeration or restriction code.
+(:class:`~repro.storage.columnar.ColumnarStorage`), or NumPy/mmap pages
+(:class:`~repro.storage.numpy_backend.NumpyStorage`), without touching
+enumeration or restriction code.
 
 Contract invariants every backend must uphold
 ---------------------------------------------
@@ -34,7 +35,7 @@ from __future__ import annotations
 
 import bisect
 from abc import ABC, abstractmethod
-from typing import ClassVar, Iterable, Iterator, Mapping
+from typing import ClassVar, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.events import Event, validate_events
 
@@ -211,6 +212,41 @@ class GraphStorage(ABC):
         """
 
     # ------------------------------------------------------------------
+    # batched windowed queries (vectorizable backends override these)
+    # ------------------------------------------------------------------
+    def count_node_events_in_batch(
+        self,
+        nodes: Sequence[int],
+        t_los: Sequence[float],
+        t_his: Sequence[float],
+    ) -> list[int]:
+        """Closed-window counts for many ``(node, t_lo, t_hi)`` queries.
+
+        The generic implementation loops the scalar query; array-backed
+        engines answer the whole batch with a constant number of
+        vectorized probes.  All three sequences must share one length.
+        """
+        return [
+            self.count_node_events_in(node, t_lo, t_hi)
+            for node, t_lo, t_hi in zip(nodes, t_los, t_his, strict=True)
+        ]
+
+    def adjacent_events_between(
+        self, nodes: Sequence[int], t_lo: float, t_hi: float
+    ) -> list[int]:
+        """Sorted, deduplicated union of :meth:`node_events_between` over ``nodes``.
+
+        The enumeration engine's candidate-generation primitive: events
+        adjacent to *any* motif node in the half-open ``(t_lo, t_hi]``
+        window, each index once (an event touching two motif nodes appears
+        in two adjacency lists), sorted for determinism.
+        """
+        found: set[int] = set()
+        for node in nodes:
+            found.update(self.node_events_between(node, t_lo, t_hi))
+        return sorted(found)
+
+    # ------------------------------------------------------------------
     # transformations
     # ------------------------------------------------------------------
     def slice_time(self, t_lo: float, t_hi: float) -> "GraphStorage":
@@ -219,6 +255,31 @@ class GraphStorage(ABC):
         lo = bisect.bisect_left(times, t_lo)
         hi = bisect.bisect_right(times, t_hi)
         return type(self).from_events(self.events[lo:hi], presorted=True)
+
+    def slice_range(self, lo: int, hi: int) -> "GraphStorage":
+        """A new storage over the contiguous event-index range ``[lo, hi)``.
+
+        The slice of a time-sorted stream is itself time-sorted, so no
+        re-validation happens; local index ``i`` of the result corresponds
+        to index ``lo + i`` of this storage.  Array-backed engines override
+        this with zero-copy column views.
+        """
+        return type(self).from_events(self.events[lo:hi], presorted=True)
+
+    def shard_payload(self, lo: int, hi: int):
+        """A picklable payload representing ``events[lo:hi]`` for workers.
+
+        Whatever this returns must round-trip through
+        :meth:`from_shard_payload` on the same backend class.  The generic
+        payload is the event tuple; array-backed engines ship column
+        slices instead, skipping the per-event boxing on both sides.
+        """
+        return self.events[lo:hi]
+
+    @classmethod
+    def from_shard_payload(cls, payload) -> "GraphStorage":
+        """Rebuild a worker-side storage from :meth:`shard_payload` output."""
+        return cls.from_events(payload, presorted=True)
 
     def slice_nodes(self, nodes: Iterable[int]) -> "GraphStorage":
         """A new storage with only events whose endpoints both lie in ``nodes``."""

@@ -1,0 +1,876 @@
+"""NumPy page storage backend: contiguous columns, ``searchsorted`` kernels, mmap pages.
+
+Layout
+------
+
+The event stream lives in three contiguous ``ndarray`` columns — ``u`` and
+``v`` as int64, ``t`` as float64 — and the per-node / per-edge indices are
+CSR-style: one flat int64 array of event indices grouped by node (edge)
+slot plus an offsets array mapping each slot to its ``[start, end)`` range.
+Because the global event order is the time order, the event indices inside
+one slot are *strictly increasing*, so every window query reduces to pure
+index arithmetic:
+
+1. two ``np.searchsorted`` probes over the global timestamp column turn the
+   time window into a half-open global index range ``[L, R)``, and
+2. two more probes over the slot's index segment count/slice the events of
+   that node (edge) falling inside ``[L, R)``.
+
+Batched variants (:meth:`NumpyStorage.count_node_events_in_batch`,
+:meth:`NumpyStorage.adjacent_events_between`) answer *many* window queries
+with a constant number of vectorized ``searchsorted`` calls by shifting
+each slot's segment into a disjoint band (``index + slot * m``), which
+keeps the concatenated CSR array globally sorted.  These are the kernels
+behind the enumeration engine's candidate-pruning fast path and the
+benchmark's batched window sweep.
+
+CSR indices are built lazily (first per-node/per-edge query) and
+vectorized through one ``np.lexsort`` per index, so :meth:`slice_time` and
+:meth:`slice_range` are zero-copy column views with deferred index cost.
+
+Persistence
+-----------
+
+:meth:`save` writes an ``.npz``-style *page directory*: one ``.npy`` file
+per column and per CSR page plus a ``meta.json`` manifest.
+:meth:`load` (and the :meth:`TemporalGraph.load
+<repro.core.temporal_graph.TemporalGraph.load>` facade) reopens every page
+with ``np.load(..., mmap_mode="r")`` by default, so a multi-million-event
+stream is queryable without materializing anything beyond the touched
+pages.  Appends after a load land in a small tail delta (the columns —
+possibly read-only maps — are never written); compaction folds the tail
+into fresh in-memory arrays.
+
+Node ids must fit in int64; anything wider raises at construction (use the
+``"list"`` backend for exotic ids).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.events import Event, validate_events
+from repro.storage.base import GraphStorage
+
+try:  # The whole backend requires NumPy; registration is gated on this.
+    import numpy as np
+except Exception:  # pragma: no cover - the image bakes numpy in
+    np = None
+
+#: ``meta.json`` manifest identifier of the page directory layout.
+PAGE_FORMAT = "repro-numpy-pages"
+
+#: Version stamp written to (and checked against) ``meta.json``.
+PAGE_VERSION = 1
+
+#: Column pages: (file stem, attribute, dtype).
+_COLUMN_PAGES = (("u", "_u", "int64"), ("v", "_v", "int64"), ("t", "_t", "float64"))
+
+
+def available() -> bool:
+    """Whether the backend can run (NumPy importable)."""
+    return np is not None
+
+
+class NumpyStorage(GraphStorage):
+    """Contiguous-``ndarray`` event store with vectorized window kernels."""
+
+    backend_name = "numpy"
+
+    #: Tail appends tolerated before the columns are rebuilt in one pass.
+    compact_threshold = 4096
+
+    def __init__(self, events: Iterable[Event] = (), *, presorted: bool = False) -> None:
+        if np is None:  # pragma: no cover - exercised only without numpy
+            raise RuntimeError("the 'numpy' storage backend requires NumPy")
+        validated = list(events) if presorted else validate_events(events)
+        m = len(validated)
+        try:
+            u = np.fromiter((ev[0] for ev in validated), dtype=np.int64, count=m)
+            v = np.fromiter((ev[1] for ev in validated), dtype=np.int64, count=m)
+        except OverflowError:
+            raise ValueError(
+                "the 'numpy' storage backend requires int64 node ids; "
+                "use the 'list' backend for wider identifiers"
+            ) from None
+        t = np.fromiter((ev[2] for ev in validated), dtype=np.float64, count=m)
+        self._set_columns(u, v, t)
+
+    # ------------------------------------------------------------------
+    # construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(
+        cls, events: Iterable[Event], *, presorted: bool = False
+    ) -> "NumpyStorage":
+        return cls(events, presorted=presorted)
+
+    @classmethod
+    def from_arrays(cls, u, v, t) -> "NumpyStorage":
+        """Wrap pre-sorted column arrays without copying when possible.
+
+        The arrays must describe a valid ``(t, u, v)``-sorted, loop-free
+        event stream (e.g. a slice of another :class:`NumpyStorage` or
+        pages read back from :meth:`save`); no re-validation happens here.
+        """
+        if np is None:  # pragma: no cover
+            raise RuntimeError("the 'numpy' storage backend requires NumPy")
+        storage = cls.__new__(cls)
+        storage._set_columns(
+            _as_column(u, np.int64), _as_column(v, np.int64), _as_column(t, np.float64)
+        )
+        return storage
+
+    def _set_columns(self, u, v, t) -> None:
+        """Install the three columns and reset every derived structure."""
+        self._u = u
+        self._v = v
+        self._t = t
+        self._m = len(t)
+        # Lazy CSR indices: (slot dict, offsets, flat indices).
+        self._node_csr: tuple | None = None
+        self._edge_csr: tuple | None = None
+        # Lazy flat timestamp arrays parallel to the CSR index arrays
+        # (scalar window queries probe these directly: two searchsorted
+        # calls per query instead of four).
+        self._node_t: Any | None = None
+        self._edge_t: Any | None = None
+        # Lazy banded copy of the node CSR (batch kernels only).
+        self._node_banded: Any | None = None
+        # Lazy sorted node-id array (vectorized node -> slot resolution).
+        self._node_keys_sorted: Any | None = None
+        # Tail delta for appends (mirrors the columnar backend's layout).
+        self._tail: list[Event] = []
+        self._tail_node_events: dict[int, list[int]] = {}
+        self._tail_node_times: dict[int, list[float]] = {}
+        self._tail_edge_events: dict[tuple[int, int], list[int]] = {}
+        self._tail_edge_times: dict[tuple[int, int], list[float]] = {}
+        self._invalidate_views()
+
+    def _invalidate_views(self) -> None:
+        self._events_cache: tuple[Event, ...] | None = None
+        self._times_cache: list[float] | None = None
+        self._node_events_cache: dict[int, list[int]] | None = None
+        self._node_times_cache: dict[int, list[float]] | None = None
+        self._edge_events_cache: dict[tuple[int, int], list[int]] | None = None
+        self._edge_times_cache: dict[tuple[int, int], list[float]] | None = None
+
+    # ------------------------------------------------------------------
+    # lazy CSR indices
+    # ------------------------------------------------------------------
+    def _node_index(self) -> tuple:
+        """``(slot, off, idx)`` of the per-node CSR index.
+
+        ``slot`` maps node -> group position in the sorted layout, with
+        dict insertion following first appearance (seed iteration order);
+        ``idx[off[s]:off[s+1]]`` is the node's strictly increasing event
+        indices.
+        """
+        if self._node_csr is None:
+            m = self._m
+            if m == 0:
+                empty = np.empty(0, dtype=np.int64)
+                self._node_csr = ({}, np.zeros(1, dtype=np.int64), empty)
+                return self._node_csr
+            u, v = self._u, self._v
+            ar = np.arange(m, dtype=np.int64)
+            # Each event is indexed under both endpoints; position keys
+            # 2i / 2i+1 reproduce the seed's insertion order (within a
+            # node by event index, across nodes by first touch).
+            endpoints = np.concatenate((u, v))
+            pos = np.concatenate((2 * ar, 2 * ar + 1))
+            loops = u == v
+            if loops.any():
+                keep = np.concatenate((np.ones(m, dtype=bool), ~loops))
+                endpoints = endpoints[keep]
+                pos = pos[keep]
+            order = np.lexsort((pos, endpoints))
+            grouped_nodes = endpoints[order]
+            grouped_pos = pos[order]
+            idx = np.ascontiguousarray(grouped_pos >> 1)
+            starts = np.flatnonzero(np.diff(grouped_nodes)) + 1
+            starts = np.concatenate((np.zeros(1, dtype=np.int64), starts))
+            appearance = np.argsort(grouped_pos[starts], kind="stable")
+            slot = dict(
+                zip(grouped_nodes[starts][appearance].tolist(), appearance.tolist())
+            )
+            off = np.concatenate((starts, np.array([len(idx)], dtype=np.int64)))
+            self._node_csr = (slot, off, idx)
+        return self._node_csr
+
+    def _node_banded_index(self):
+        """``idx + slot_of_position * m``: the node CSR shifted so each
+        slot occupies a disjoint band, making the flat array globally
+        sorted — one ``searchsorted`` then answers a probe for any node.
+        Built on first batched query (mmap loads stay lazy until then).
+        """
+        if self._node_banded is None:
+            _slot, off, idx = self._node_index()
+            counts = np.diff(off)
+            self._node_banded = idx + np.repeat(
+                np.arange(len(counts), dtype=np.int64), counts
+            ) * np.int64(self._m)
+        return self._node_banded
+
+    def _node_keys(self):
+        """Distinct node ids, ascending — position in this array == slot."""
+        if self._node_keys_sorted is None:
+            slot = self._node_index()[0]
+            keys = np.fromiter(slot.keys(), dtype=np.int64, count=len(slot))
+            order = np.fromiter(slot.values(), dtype=np.int64, count=len(slot))
+            # Slots enumerate the value-sorted group layout, so scattering
+            # the keys by slot yields them in ascending order.
+            out = np.empty_like(keys)
+            out[order] = keys
+            self._node_keys_sorted = out
+        return self._node_keys_sorted
+
+    def _node_times_flat(self):
+        """Timestamps parallel to the node CSR index array (lazy gather)."""
+        if self._node_t is None:
+            idx = self._node_index()[2]
+            self._node_t = np.ascontiguousarray(self._t[idx])
+        return self._node_t
+
+    def _edge_times_flat(self):
+        """Timestamps parallel to the edge CSR index array (lazy gather)."""
+        if self._edge_t is None:
+            idx = self._edge_index()[2]
+            self._edge_t = np.ascontiguousarray(self._t[idx])
+        return self._edge_t
+
+    def _edge_index(self) -> tuple:
+        """``(slot, off, idx)`` of the per-edge CSR index."""
+        if self._edge_csr is None:
+            m = self._m
+            if m == 0:
+                self._edge_csr = (
+                    {},
+                    np.zeros(1, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                )
+                return self._edge_csr
+            u, v = self._u, self._v
+            # Stable sort by (u, v): ties keep event (time) order.
+            order = np.ascontiguousarray(np.lexsort((v, u)))
+            su, sv = u[order], v[order]
+            starts = np.flatnonzero((np.diff(su) != 0) | (np.diff(sv) != 0)) + 1
+            starts = np.concatenate((np.zeros(1, dtype=np.int64), starts))
+            appearance = np.argsort(order[starts], kind="stable")
+            slot = dict(
+                zip(
+                    zip(
+                        su[starts][appearance].tolist(),
+                        sv[starts][appearance].tolist(),
+                    ),
+                    appearance.tolist(),
+                )
+            )
+            off = np.concatenate((starts, np.array([m], dtype=np.int64)))
+            self._edge_csr = (slot, off, order)
+        return self._edge_csr
+
+    def _node_segment(self, node: int):
+        slot, off, idx = self._node_index()
+        s = slot.get(node)
+        if s is None:
+            return idx[:0]
+        return idx[off[s] : off[s + 1]]
+
+    def _node_span(self, node: int) -> tuple[int, int]:
+        """The node's ``[start, end)`` range in the flat CSR arrays."""
+        slot, off, _idx = self._node_index()
+        s = slot.get(node)
+        if s is None:
+            return (0, 0)
+        return int(off[s]), int(off[s + 1])
+
+    def _edge_span(self, edge: tuple[int, int]) -> tuple[int, int]:
+        """The edge's ``[start, end)`` range in the flat CSR arrays."""
+        slot, off, _idx = self._edge_index()
+        s = slot.get(edge)
+        if s is None:
+            return (0, 0)
+        return int(off[s]), int(off[s + 1])
+
+    def _edge_segment(self, edge: tuple[int, int]):
+        slot, off, idx = self._edge_index()
+        s = slot.get(edge)
+        if s is None:
+            return idx[:0]
+        return idx[off[s] : off[s + 1]]
+
+    # ------------------------------------------------------------------
+    # global window -> index-range translation
+    # ------------------------------------------------------------------
+    def _closed_range(self, t_lo: float, t_hi: float) -> tuple[int, int]:
+        """Global index range ``[L, R)`` of events with ``t_lo <= t <= t_hi``."""
+        t = self._t
+        return (
+            int(np.searchsorted(t, t_lo, side="left")),
+            int(np.searchsorted(t, t_hi, side="right")),
+        )
+
+    # ------------------------------------------------------------------
+    # materialized views
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> tuple[Event, ...]:
+        if self._events_cache is None:
+            main = tuple(
+                map(Event, self._u.tolist(), self._v.tolist(), self._t.tolist())
+            )
+            self._events_cache = main + tuple(self._tail) if self._tail else main
+        return self._events_cache
+
+    @property
+    def times(self) -> list[float]:
+        if self._times_cache is None:
+            times = self._t.tolist()
+            times.extend(ev.t for ev in self._tail)
+            self._times_cache = times
+        return self._times_cache
+
+    @property
+    def node_events(self) -> dict[int, list[int]]:
+        if self._node_events_cache is None:
+            slot, off, idx = self._node_index()
+            out = {
+                node: idx[off[s] : off[s + 1]].tolist() for node, s in slot.items()
+            }
+            for node, idxs in self._tail_node_events.items():
+                out.setdefault(node, []).extend(idxs)
+            self._node_events_cache = out
+        return self._node_events_cache
+
+    @property
+    def node_times(self) -> dict[int, list[float]]:
+        if self._node_times_cache is None:
+            times = self.times
+            self._node_times_cache = {
+                node: [times[i] for i in idxs]
+                for node, idxs in self.node_events.items()
+            }
+        return self._node_times_cache
+
+    @property
+    def edge_events(self) -> dict[tuple[int, int], list[int]]:
+        if self._edge_events_cache is None:
+            slot, off, idx = self._edge_index()
+            out = {
+                edge: idx[off[s] : off[s + 1]].tolist() for edge, s in slot.items()
+            }
+            for edge, idxs in self._tail_edge_events.items():
+                out.setdefault(edge, []).extend(idxs)
+            self._edge_events_cache = out
+        return self._edge_events_cache
+
+    @property
+    def edge_times(self) -> dict[tuple[int, int], list[float]]:
+        if self._edge_times_cache is None:
+            times = self.times
+            self._edge_times_cache = {
+                edge: [times[i] for i in idxs]
+                for edge, idxs in self.edge_events.items()
+            }
+        return self._edge_times_cache
+
+    # ------------------------------------------------------------------
+    # scalar views (avoid materializing the dict caches)
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> set[int]:
+        slot = self._node_index()[0]
+        out = set(slot)
+        out.update(self._tail_node_events)
+        return out
+
+    @property
+    def num_nodes(self) -> int:
+        slot = self._node_index()[0]
+        extra = sum(1 for n in self._tail_node_events if n not in slot)
+        return len(slot) + extra
+
+    @property
+    def num_edges(self) -> int:
+        slot = self._edge_index()[0]
+        extra = sum(1 for e in self._tail_edge_events if e not in slot)
+        return len(slot) + extra
+
+    @property
+    def start_time(self) -> float | None:
+        if self._m:
+            return float(self._t[0])
+        return self._tail[0].t if self._tail else None
+
+    @property
+    def end_time(self) -> float | None:
+        if self._tail:
+            return self._tail[-1].t
+        return float(self._t[-1]) if self._m else None
+
+    def __len__(self) -> int:
+        return self._m + len(self._tail)
+
+    def event_at(self, idx: int) -> Event:
+        """O(1) event lookup straight from the columns (or the tail)."""
+        if idx < 0:
+            idx += len(self)
+        if idx >= self._m:
+            return self._tail[idx - self._m]
+        if self._events_cache is not None:
+            return self._events_cache[idx]
+        return Event(int(self._u[idx]), int(self._v[idx]), float(self._t[idx]))
+
+    def iter_uvt(self) -> Iterator[tuple[int, int, float]]:
+        yield from zip(self._u.tolist(), self._v.tolist(), self._t.tolist())
+        for ev in self._tail:
+            yield (ev.u, ev.v, ev.t)
+
+    # ------------------------------------------------------------------
+    # point lookups
+    # ------------------------------------------------------------------
+    def node_event_indices(self, node: int) -> list[int]:
+        out = self._node_segment(node).tolist()
+        tail = self._tail_node_events.get(node)
+        if tail:
+            out.extend(tail)
+        return out
+
+    def edge_event_indices(self, edge: tuple[int, int]) -> list[int]:
+        out = self._edge_segment(edge).tolist()
+        tail = self._tail_edge_events.get(edge)
+        if tail:
+            out.extend(tail)
+        return out
+
+    def neighbors(self, node: int) -> set[int]:
+        out = set(self._other_endpoints(node).tolist())
+        if self._tail:
+            m = self._m
+            for i in self._tail_node_events.get(node, ()):
+                ev = self._tail[i - m]
+                out.add(ev.v if ev.u == node else ev.u)
+        out.discard(node)
+        return out
+
+    def get_nbrs(self, nodes: Iterable[int]) -> dict[int, list[int]]:
+        """Sorted static neighbor lists, one array gather per node."""
+        out: dict[int, list[int]] = {}
+        for node in nodes:
+            others = np.unique(self._other_endpoints(node))
+            nbrs = others[others != node].tolist()
+            if self._tail and node in self._tail_node_events:
+                merged = set(nbrs)
+                m = self._m
+                for i in self._tail_node_events[node]:
+                    ev = self._tail[i - m]
+                    merged.add(ev.v if ev.u == node else ev.u)
+                merged.discard(node)
+                nbrs = sorted(merged)
+            out[node] = nbrs
+        return out
+
+    def _other_endpoints(self, node: int):
+        """For each main-column event touching ``node``, the other endpoint."""
+        segment = self._node_segment(node)
+        if not len(segment):
+            return segment
+        us = self._u[segment]
+        return np.where(us == node, self._v[segment], us)
+
+    # ------------------------------------------------------------------
+    # windowed queries (scalar)
+    # ------------------------------------------------------------------
+    def _node_window(
+        self, node: int, t_lo: float, t_hi: float, lo_side: str
+    ) -> tuple[int, int]:
+        """Flat-array range of the node's events in the time window."""
+        lo_p, hi_p = self._node_span(node)
+        if lo_p == hi_p:
+            return (0, 0)
+        seg_t = self._node_times_flat()[lo_p:hi_p]
+        a = lo_p + int(seg_t.searchsorted(t_lo, side=lo_side))
+        b = lo_p + int(seg_t.searchsorted(t_hi, side="right"))
+        return (a, b)
+
+    def node_events_in(self, node: int, t_lo: float, t_hi: float) -> list[int]:
+        a, b = self._node_window(node, t_lo, t_hi, "left")
+        out = self._node_index()[2][a:b].tolist()
+        if self._tail:
+            out.extend(
+                self._tail_window(
+                    self._tail_node_times.get(node),
+                    self._tail_node_events.get(node),
+                    t_lo,
+                    t_hi,
+                )
+            )
+        return out
+
+    def count_node_events_in(self, node: int, t_lo: float, t_hi: float) -> int:
+        a, b = self._node_window(node, t_lo, t_hi, "left")
+        n = b - a
+        if self._tail:
+            times = self._tail_node_times.get(node)
+            if times:
+                n += bisect.bisect_right(times, t_hi) - bisect.bisect_left(times, t_lo)
+        return n
+
+    def edge_events_in(
+        self, edge: tuple[int, int], t_lo: float, t_hi: float
+    ) -> list[int]:
+        lo_p, hi_p = self._edge_span(edge)
+        out = []
+        if lo_p != hi_p:
+            seg_t = self._edge_times_flat()[lo_p:hi_p]
+            a = lo_p + int(seg_t.searchsorted(t_lo, side="left"))
+            b = lo_p + int(seg_t.searchsorted(t_hi, side="right"))
+            out = self._edge_index()[2][a:b].tolist()
+        if self._tail:
+            out.extend(
+                self._tail_window(
+                    self._tail_edge_times.get(edge),
+                    self._tail_edge_events.get(edge),
+                    t_lo,
+                    t_hi,
+                )
+            )
+        return out
+
+    def count_edge_events_in(
+        self, edge: tuple[int, int], t_lo: float, t_hi: float
+    ) -> int:
+        lo_p, hi_p = self._edge_span(edge)
+        n = 0
+        if lo_p != hi_p:
+            seg_t = self._edge_times_flat()[lo_p:hi_p]
+            n = int(seg_t.searchsorted(t_hi, side="right")) - int(
+                seg_t.searchsorted(t_lo, side="left")
+            )
+        if self._tail:
+            times = self._tail_edge_times.get(edge)
+            if times:
+                n += bisect.bisect_right(times, t_hi) - bisect.bisect_left(times, t_lo)
+        return n
+
+    def events_in(self, t_lo: float, t_hi: float) -> list[int]:
+        lo, hi = self._closed_range(t_lo, t_hi)
+        if not self._tail:
+            return list(range(lo, hi))
+        m = self._m
+        tail_times = [ev.t for ev in self._tail]
+        tlo = bisect.bisect_left(tail_times, t_lo)
+        thi = bisect.bisect_right(tail_times, t_hi)
+        return list(range(lo, hi)) + list(range(m + tlo, m + thi))
+
+    def count_events_in(self, t_lo: float, t_hi: float) -> int:
+        lo, hi = self._closed_range(t_lo, t_hi)
+        n = hi - lo
+        if self._tail:
+            tail_times = [ev.t for ev in self._tail]
+            n += bisect.bisect_right(tail_times, t_hi) - bisect.bisect_left(
+                tail_times, t_lo
+            )
+        return n
+
+    def node_events_between(self, node: int, t_lo: float, t_hi: float) -> list[int]:
+        a, b = self._node_window(node, t_lo, t_hi, "right")
+        out = self._node_index()[2][a:b].tolist()
+        if self._tail:
+            times = self._tail_node_times.get(node)
+            if times:
+                idxs = self._tail_node_events[node]
+                a = bisect.bisect_right(times, t_lo)
+                b = bisect.bisect_right(times, t_hi)
+                out.extend(idxs[a:b])
+        return out
+
+    @staticmethod
+    def _tail_window(
+        times: list[float] | None, idxs: list[int] | None, t_lo: float, t_hi: float
+    ) -> list[int]:
+        if not times:
+            return []
+        a = bisect.bisect_left(times, t_lo)
+        b = bisect.bisect_right(times, t_hi)
+        return idxs[a:b]
+
+    # ------------------------------------------------------------------
+    # windowed queries (batched / vectorized)
+    # ------------------------------------------------------------------
+    def count_node_events_in_batch(
+        self,
+        nodes: Sequence[int],
+        t_los: Sequence[float],
+        t_his: Sequence[float],
+    ) -> list[int]:
+        """Closed-window per-node counts, vectorized across all queries.
+
+        The banded CSR array answers every query with six ``searchsorted``
+        calls total: two map the time windows to global index ranges, four
+        locate the range boundaries inside each node's band.
+        """
+        if self._tail or self._m == 0:
+            # The tail path is rare and small; the generic loop is exact.
+            return super().count_node_events_in_batch(nodes, t_los, t_his)
+        try:
+            q = np.asarray(nodes, dtype=np.int64)
+        except (OverflowError, TypeError, ValueError):
+            return super().count_node_events_in_batch(nodes, t_los, t_his)
+        keys = self._node_keys()
+        banded = self._node_banded_index()
+        slots = np.minimum(keys.searchsorted(q), len(keys) - 1)
+        known = keys[slots] == q
+        t = self._t
+        lo = t.searchsorted(np.asarray(t_los, dtype=np.float64), side="left")
+        hi = t.searchsorted(np.asarray(t_his, dtype=np.float64), side="right")
+        base = slots * np.int64(self._m)
+        counts = banded.searchsorted(base + hi, side="left") - banded.searchsorted(
+            base + lo, side="left"
+        )
+        counts[~known] = 0
+        return counts.tolist()
+
+    def adjacent_events_between(
+        self, nodes: Sequence[int], t_lo: float, t_hi: float
+    ) -> list[int]:
+        """Deduplicated half-open window union over several nodes.
+
+        The enumeration engine's candidate-generation fast path: one global
+        window translation shared by every node, per-node segment slicing,
+        and an array-level merge instead of a Python set union.
+        """
+        if self._tail:
+            return super().adjacent_events_between(nodes, t_lo, t_hi)
+        idx = self._node_index()[2]
+        parts = []
+        for node in nodes:
+            a, b = self._node_window(node, t_lo, t_hi, "right")
+            if a < b:
+                parts.append(idx[a:b])
+        if not parts:
+            return []
+        if len(parts) == 1:
+            return parts[0].tolist()
+        return np.unique(np.concatenate(parts)).tolist()
+
+    # ------------------------------------------------------------------
+    # transformations / shard plumbing
+    # ------------------------------------------------------------------
+    def slice_time(self, t_lo: float, t_hi: float) -> "NumpyStorage":
+        """Zero-copy column views over the closed window (lazy indices)."""
+        if self._tail:
+            self.compact()
+        lo, hi = self._closed_range(t_lo, t_hi)
+        return self.slice_range(lo, hi)
+
+    def slice_range(self, lo: int, hi: int) -> "NumpyStorage":
+        """A new storage over ``events[lo:hi]`` as zero-copy column views."""
+        if self._tail:
+            self.compact()
+        return type(self).from_arrays(
+            self._u[lo:hi], self._v[lo:hi], self._t[lo:hi]
+        )
+
+    def shard_payload(self, lo: int, hi: int) -> dict[str, Any]:
+        """Column slices as a picklable payload (no event-tuple round-trip)."""
+        if self._tail:
+            self.compact()
+        return {
+            "kind": PAGE_FORMAT,
+            "u": self._u[lo:hi],
+            "v": self._v[lo:hi],
+            "t": self._t[lo:hi],
+        }
+
+    @classmethod
+    def from_shard_payload(cls, payload) -> "NumpyStorage":
+        if isinstance(payload, dict) and payload.get("kind") == PAGE_FORMAT:
+            return cls.from_arrays(payload["u"], payload["v"], payload["t"])
+        return super().from_shard_payload(payload)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def append(self, event: Event) -> int:
+        ev = self._check_appendable(event)
+        idx = self._m + len(self._tail)
+        self._tail.append(ev)
+        for node in (ev.u, ev.v):
+            self._tail_node_events.setdefault(node, []).append(idx)
+            self._tail_node_times.setdefault(node, []).append(ev.t)
+        self._tail_edge_events.setdefault(ev.edge, []).append(idx)
+        self._tail_edge_times.setdefault(ev.edge, []).append(ev.t)
+        self._invalidate_views()
+        if len(self._tail) >= self.compact_threshold:
+            self.compact()
+        return idx
+
+    def compact(self) -> None:
+        """Fold tail appends into fresh in-memory columns.
+
+        Also the escape hatch from read-only memory-mapped pages: the
+        rebuilt columns are ordinary arrays, so a loaded graph keeps
+        accepting appends without ever writing to its backing files.
+        """
+        if not self._tail:
+            return
+        tail = self._tail
+        u = np.concatenate(
+            (np.asarray(self._u), np.fromiter((ev.u for ev in tail), dtype=np.int64))
+        )
+        v = np.concatenate(
+            (np.asarray(self._v), np.fromiter((ev.v for ev in tail), dtype=np.int64))
+        )
+        t = np.concatenate(
+            (np.asarray(self._t), np.fromiter((ev.t for ev in tail), dtype=np.float64))
+        )
+        self._set_columns(u, v, t)
+
+    # ------------------------------------------------------------------
+    # persistence (mmap page directory)
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike, *, name: str = "") -> None:
+        """Write the columns and CSR index pages under directory ``path``.
+
+        The layout is one ``.npy`` page per array plus a ``meta.json``
+        manifest, so :meth:`load` can reopen each page memory-mapped.
+        Index pages are saved too (forcing their lazy build), which keeps
+        a subsequent mmap load free of any O(events) index pass.
+        """
+        if self._tail:
+            self.compact()
+        path = os.fspath(path)
+        os.makedirs(path, exist_ok=True)
+        for stem, attr, _dtype in _COLUMN_PAGES:
+            np.save(os.path.join(path, f"{stem}.npy"), np.asarray(getattr(self, attr)))
+        node_slot, node_off, node_idx = self._node_index()
+        edge_slot, edge_off, edge_idx = self._edge_index()
+        # Slot dicts serialize as two parallel arrays in first-appearance
+        # order, preserving the seed iteration order across a round-trip.
+        np.save(
+            os.path.join(path, "node_keys.npy"),
+            np.fromiter(node_slot.keys(), dtype=np.int64, count=len(node_slot)),
+        )
+        np.save(
+            os.path.join(path, "node_slots.npy"),
+            np.fromiter(node_slot.values(), dtype=np.int64, count=len(node_slot)),
+        )
+        np.save(os.path.join(path, "node_off.npy"), node_off)
+        np.save(os.path.join(path, "node_idx.npy"), node_idx)
+        np.save(os.path.join(path, "node_t.npy"), self._node_times_flat())
+        edge_keys = np.empty((len(edge_slot), 2), dtype=np.int64)
+        for row, (eu, ev) in enumerate(edge_slot):
+            edge_keys[row, 0] = eu
+            edge_keys[row, 1] = ev
+        np.save(os.path.join(path, "edge_keys.npy"), edge_keys)
+        np.save(
+            os.path.join(path, "edge_slots.npy"),
+            np.fromiter(edge_slot.values(), dtype=np.int64, count=len(edge_slot)),
+        )
+        np.save(os.path.join(path, "edge_off.npy"), edge_off)
+        np.save(os.path.join(path, "edge_idx.npy"), edge_idx)
+        np.save(os.path.join(path, "edge_t.npy"), self._edge_times_flat())
+        meta = {
+            "format": PAGE_FORMAT,
+            "version": PAGE_VERSION,
+            "n_events": self._m,
+            "name": name,
+        }
+        with open(os.path.join(path, "meta.json"), "w") as fh:
+            json.dump(meta, fh, indent=2)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike, *, mmap: bool = True) -> "NumpyStorage":
+        """Reopen a :meth:`save` page directory (memory-mapped by default)."""
+        storage, _meta = load_pages(path, mmap=mmap)
+        return storage
+
+
+def _as_column(a, dtype):
+    """Coerce to ``dtype`` without copying (or retyping) when already right.
+
+    ``np.asanyarray`` keeps ``np.memmap`` instances as memmaps, so columns
+    opened from disk stay visibly memory-mapped.
+    """
+    a = np.asanyarray(a)
+    return a if a.dtype == dtype else a.astype(dtype)
+
+
+def page_meta(path: str | os.PathLike) -> dict:
+    """Read and sanity-check a page directory's ``meta.json`` manifest."""
+    path = os.fspath(path)
+    meta_path = os.path.join(path, "meta.json")
+    if not os.path.exists(meta_path):
+        raise FileNotFoundError(
+            f"{path!r} is not a numpy-page graph directory (no meta.json)"
+        )
+    with open(meta_path) as fh:
+        meta = json.load(fh)
+    if meta.get("format") != PAGE_FORMAT:
+        raise ValueError(f"{path!r}: unrecognized page format {meta.get('format')!r}")
+    if meta.get("version") != PAGE_VERSION:
+        raise ValueError(
+            f"{path!r}: page layout version {meta.get('version')!r} is not "
+            f"supported (this build reads version {PAGE_VERSION})"
+        )
+    return meta
+
+
+def load_pages(
+    path: str | os.PathLike, *, mmap: bool = True
+) -> tuple[NumpyStorage, dict]:
+    """Open a page directory; return the storage and its manifest.
+
+    With ``mmap=True`` every page is an ``np.load(..., mmap_mode="r")``
+    read-only map: opening a multi-million-event stream touches only the
+    manifest and the page headers, and queries fault in just the pages
+    they probe.  Appends remain possible — they land in the in-memory
+    tail, never in the backing files.
+    """
+    if np is None:  # pragma: no cover
+        raise RuntimeError("loading numpy-page graphs requires NumPy")
+    meta = page_meta(path)
+    path = os.fspath(path)
+    mode = "r" if mmap else None
+
+    def page(stem: str):
+        return np.load(os.path.join(path, f"{stem}.npy"), mmap_mode=mode)
+
+    storage = NumpyStorage.from_arrays(page("u"), page("v"), page("t"))
+    if len(storage) != meta["n_events"]:
+        raise ValueError(
+            f"{path!r}: column pages hold {len(storage)} events but the "
+            f"manifest records {meta['n_events']}"
+        )
+    try:
+        node_keys = page("node_keys")
+        node_slots = page("node_slots")
+        node_off = page("node_off")
+        node_idx = page("node_idx")
+        node_t = page("node_t")
+        edge_keys = page("edge_keys")
+        edge_slots = page("edge_slots")
+        edge_off = page("edge_off")
+        edge_idx = page("edge_idx")
+        edge_t = page("edge_t")
+    except FileNotFoundError:
+        # Index pages are optional: the lazy CSR build recreates them.
+        return storage, meta
+    storage._node_csr = (
+        dict(zip(node_keys.tolist(), node_slots.tolist())),
+        node_off,
+        node_idx,
+    )
+    storage._node_t = node_t
+    storage._edge_csr = (
+        dict(zip(map(tuple, edge_keys.tolist()), edge_slots.tolist())),
+        edge_off,
+        edge_idx,
+    )
+    storage._edge_t = edge_t
+    return storage, meta

@@ -4,12 +4,12 @@ Fixtures deliberately use tiny graphs with hand-checkable motif content;
 dataset-backed tests use small scales so the whole suite stays fast.
 
 The session-scoped, parametrized :func:`storage_backend` fixture runs the
-entire suite once per registered storage backend (``REPRO_STORAGE=list``
-and ``REPRO_STORAGE=columnar``), so every seed test doubles as a parity
-check of the columnar engine.  When ``REPRO_STORAGE`` is already set in
-the environment the suite runs once, pinned to that backend — this is how
-the CI matrix runs one backend per job instead of every backend in every
-job.
+entire suite once per registered storage backend (``REPRO_STORAGE=list``,
+``REPRO_STORAGE=columnar``, and — when NumPy is importable —
+``REPRO_STORAGE=numpy``), so every seed test doubles as a parity check of
+the accelerated engines.  When ``REPRO_STORAGE`` is already set in the
+environment the suite runs once, pinned to that backend — this is how the
+CI matrix runs one backend per job instead of every backend in every job.
 """
 
 from __future__ import annotations
@@ -22,12 +22,14 @@ from repro.core.constraints import TimingConstraints
 from repro.core.events import Event
 from repro.core.temporal_graph import TemporalGraph
 from repro.datasets.registry import get_dataset
-from repro.storage import ENV_VAR
+from repro.storage import ENV_VAR, available_backends
 
 
 def _session_backends() -> list[str]:
     forced = os.environ.get(ENV_VAR)
-    return [forced] if forced else ["list", "columnar"]
+    if forced:
+        return [forced]
+    return [b for b in ("list", "columnar", "numpy") if b in available_backends()]
 
 
 @pytest.fixture(scope="session", autouse=True, params=_session_backends())
@@ -87,18 +89,21 @@ def loose() -> TimingConstraints:
 @pytest.fixture(scope="session")
 def small_sms(storage_backend: str) -> TemporalGraph:
     """A small message-network dataset (shared across the session)."""
+    pytest.importorskip("numpy", reason="dataset synthesis is numpy-seeded")
     return get_dataset("sms-copenhagen", scale=0.15)
 
 
 @pytest.fixture(scope="session")
 def small_email(storage_backend: str) -> TemporalGraph:
     """A small email dataset with same-timestamp carbon copies."""
+    pytest.importorskip("numpy", reason="dataset synthesis is numpy-seeded")
     return get_dataset("email", scale=0.1)
 
 
 @pytest.fixture(scope="session")
 def small_bitcoin(storage_backend: str) -> TemporalGraph:
     """A small no-repeated-edges ratings dataset."""
+    pytest.importorskip("numpy", reason="dataset synthesis is numpy-seeded")
     return get_dataset("bitcoin-otc", scale=0.2)
 
 

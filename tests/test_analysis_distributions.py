@@ -1,7 +1,8 @@
 """Tests for intermediate-position, timespan, and pair-sequence analysis."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.analysis.intermediate import (
     absolute_skew,

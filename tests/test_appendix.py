@@ -10,6 +10,10 @@ from repro.experiments.appendix import (
 )
 from repro.datasets.registry import dataset_names
 
+import pytest
+
+pytest.importorskip("numpy", reason="appendix experiments run on numpy-seeded datasets")
+
 
 class TestDatasetCoverage:
     def test_figures_7_and_8_cover_all_datasets(self):

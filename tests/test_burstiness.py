@@ -1,7 +1,8 @@
 """Tests for burstiness and memory statistics."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.analysis.burstiness import (
     burstiness,

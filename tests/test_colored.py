@@ -87,6 +87,10 @@ class TestAssortativity:
 
 
 class TestNullModel:
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        pytest.importorskip("numpy", reason="the color shuffle is numpy-seeded")
+
     def test_shuffle_preserves_color_multiset(self):
         coloring = {i: ("F" if i < 7 else "M") for i in range(10)}
         shuffled = shuffle_colors(coloring, seed=3)
@@ -108,8 +112,12 @@ class TestNullModel:
         graph = TemporalGraph(events)
         coloring = {n: ("A" if n < 10 else "B") for n in graph.nodes}
         observed, null_mean = homophily_gap(
-            graph, 2, TimingConstraints(delta_c=100, delta_w=100), coloring,
-            n_null=4, seed=0,
+            graph,
+            2,
+            TimingConstraints(delta_c=100, delta_w=100),
+            coloring,
+            n_null=4,
+            seed=0,
         )
         assert observed == 1.0
         assert observed > null_mean

@@ -17,8 +17,12 @@ def bursty_graph() -> TemporalGraph:
     """Two bursts separated by a long quiet period."""
     return TemporalGraph.from_tuples(
         [
-            (0, 1, 0), (1, 2, 5), (0, 2, 8),          # burst A
-            (0, 1, 1000), (1, 3, 1004), (3, 0, 1009),  # burst B
+            (0, 1, 0),
+            (1, 2, 5),
+            (0, 2, 8),  # burst A
+            (0, 1, 1000),
+            (1, 3, 1004),
+            (3, 0, 1009),  # burst B
         ]
     )
 

@@ -28,7 +28,10 @@ class TestCountMotifs:
     def test_predicate_reduces_counts(self, conversation_graph, loose):
         vanilla = count_motifs(conversation_graph, 3, loose, max_nodes=3)
         restricted = count_motifs(
-            conversation_graph, 3, loose, max_nodes=3,
+            conversation_graph,
+            3,
+            loose,
+            max_nodes=3,
             predicate=lambda g, i: i[0] == 0,
         )
         assert sum(restricted.values()) <= sum(vanilla.values())
@@ -82,8 +85,12 @@ class TestCensus:
 
     def test_timespan_code_filter(self, conversation_graph, loose):
         census = run_census(
-            conversation_graph, 3, loose, max_nodes=3,
-            collect_timespans=True, timespan_codes=["010102"],
+            conversation_graph,
+            3,
+            loose,
+            max_nodes=3,
+            collect_timespans=True,
+            timespan_codes=["010102"],
         )
         assert set(census.timespans) <= {"010102"}
 
@@ -98,8 +105,12 @@ class TestCensus:
     def test_sample_cap_respected(self, small_sms):
         constraints = TimingConstraints(delta_c=300, delta_w=600)
         census = run_census(
-            small_sms, 3, constraints, max_nodes=3,
-            collect_timespans=True, sample_cap=5,
+            small_sms,
+            3,
+            constraints,
+            max_nodes=3,
+            collect_timespans=True,
+            sample_cap=5,
         )
         assert all(len(v) <= 5 for v in census.timespans.values())
 
@@ -121,7 +132,10 @@ class TestCensus:
         assert census.total == 0
         assert census.proportions() == {}
         assert census.pair_group_counts() == {
-            "RPIO": 0, "CW": 0, "mixed": 0, "disjoint": 0,
+            "RPIO": 0,
+            "CW": 0,
+            "mixed": 0,
+            "disjoint": 0,
         }
 
 

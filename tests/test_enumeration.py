@@ -33,7 +33,9 @@ class TestBasics:
 
     def test_single_event_instances(self, triangle_graph, loose):
         assert list(enumerate_instances(triangle_graph, 1, loose)) == [
-            (0,), (1,), (2,),
+            (0,),
+            (1,),
+            (2,),
         ]
 
     def test_two_event_instances(self, triangle_graph, loose):
@@ -117,7 +119,9 @@ class TestPredicate:
         seen = []
         list(
             enumerate_instances(
-                triangle_graph, 3, loose,
+                triangle_graph,
+                3,
+                loose,
                 predicate=lambda g, inst: seen.append(inst) or True,
             )
         )
@@ -131,8 +135,16 @@ class TestAgainstBruteForce:
     def test_small_dense_graph(self, n_events):
         g = TemporalGraph.from_tuples(
             [
-                (0, 1, 0), (1, 2, 3), (2, 0, 5), (0, 1, 8), (1, 0, 9),
-                (2, 3, 11), (3, 0, 14), (0, 2, 15), (1, 3, 17), (3, 1, 20),
+                (0, 1, 0),
+                (1, 2, 3),
+                (2, 0, 5),
+                (0, 1, 8),
+                (1, 0, 9),
+                (2, 3, 11),
+                (3, 0, 14),
+                (0, 2, 15),
+                (1, 3, 17),
+                (3, 1, 20),
             ]
         )
         constraints = TimingConstraints(delta_c=6, delta_w=15)

@@ -6,13 +6,19 @@ from pathlib import Path
 
 import pytest
 
+pytest.importorskip("numpy", reason="the examples analyze numpy-seeded datasets")
+
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
 #: script name -> substrings its output must contain
 EXPECTED_OUTPUT = {
     "quickstart.py": ["found", "Kovanen et al. [11]", "valid"],
     "fraud_detection.py": ["directed squares", "money loop", "Song (non-induced):      True"],
-    "messaging_analysis.py": ["ΔC/ΔW sweep", "consecutive-events restriction", "dominant sequences"],
+    "messaging_analysis.py": [
+        "ΔC/ΔW sweep",
+        "consecutive-events restriction",
+        "dominant sequences",
+    ],
     "model_comparison.py": ["3n3e instances", "top-5 motifs", "100.0%"],
     "event_prediction.py": ["transition model", "predicted next events"],
     "node_roles.py": ["strong answerers", "strong askers"],

@@ -1,5 +1,7 @@
 """Tests for the experiment-harness helpers and 4-event census corners."""
 
+import pytest
+
 from repro.algorithms.counting import run_census
 from repro.core.constraints import TimingConstraints
 from repro.core.temporal_graph import TemporalGraph
@@ -58,6 +60,10 @@ class TestRatioLabels:
 
 
 class TestLoadGraphs:
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        pytest.importorskip("numpy", reason="dataset synthesis is numpy-seeded")
+
     def test_explicit_names(self):
         graphs = load_graphs(["sms-copenhagen"], scale=0.05)
         assert [g.name for g in graphs] == ["sms-copenhagen"]

@@ -8,6 +8,8 @@ full-scale versions.
 
 import pytest
 
+pytest.importorskip("numpy", reason="experiments run on numpy-seeded datasets")
+
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.runner import run_all
 
@@ -18,9 +20,23 @@ MSG = ["sms-copenhagen", "college-msg"]
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         expected = {
-            "table1", "table2", "table3", "table4", "table5", "table6",
-            "table7", "figure1", "figure3", "figure4", "figure5", "figure6",
-            "figure7", "figure8", "figure9", "figure10", "figure11",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "figure1",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+            "figure11",
             "nullmodels",
         }
         assert set(EXPERIMENTS) == expected
@@ -111,7 +127,9 @@ class TestTable5:
 class TestFigures:
     def test_figure3_shares_sum_to_one(self):
         result = run_experiment(
-            "figure3", datasets=["stackoverflow"], scale=SCALE,
+            "figure3",
+            datasets=["stackoverflow"],
+            scale=SCALE,
             n_events_list=(3,),
         )
         for per_config in result.data["stackoverflow"]["3e"].values():

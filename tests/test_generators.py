@@ -2,6 +2,8 @@
 
 import pytest
 
+pytest.importorskip("numpy", reason="the activity generator is numpy-seeded")
+
 from repro.core.eventpairs import PairType, classify_pair
 from repro.datasets.generators import ActivityConfig, ActivityModel, generate
 

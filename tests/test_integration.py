@@ -4,6 +4,8 @@ These wire several subsystems together the way downstream users would and
 check the global consistency relations between them.
 """
 
+import pytest
+
 from repro.algorithms.components import temporal_components
 from repro.algorithms.counting import count_motifs, run_census
 from repro.algorithms.restrictions import (
@@ -28,7 +30,10 @@ class TestModelsVsFilters:
     def test_kovanen_equals_consecutive_filter(self, small_sms):
         model_counts = KovanenModel(600).count(small_sms, 3, max_nodes=3)
         filter_counts = count_motifs(
-            small_sms, 3, TimingConstraints.only_c(600), max_nodes=3,
+            small_sms,
+            3,
+            TimingConstraints.only_c(600),
+            max_nodes=3,
             predicate=satisfies_consecutive_events,
         )
         assert model_counts == filter_counts
@@ -43,7 +48,10 @@ class TestModelsVsFilters:
     def test_paranjape_equals_inducedness_filter(self, small_sms):
         model_counts = ParanjapeModel(1200).count(small_sms, 3, max_nodes=3)
         filter_counts = count_motifs(
-            small_sms, 3, TimingConstraints.only_w(1200), max_nodes=3,
+            small_sms,
+            3,
+            TimingConstraints.only_w(1200),
+            max_nodes=3,
             predicate=is_static_induced,
         )
         assert model_counts == filter_counts
@@ -53,7 +61,10 @@ class TestModelsVsFilters:
             small_sms, 3, max_nodes=3
         )
         filter_counts = count_motifs(
-            small_sms, 3, TimingConstraints.only_c(600), max_nodes=3,
+            small_sms,
+            3,
+            TimingConstraints.only_c(600),
+            max_nodes=3,
             predicate=combine(is_static_induced, satisfies_cdg),
         )
         assert model_counts == filter_counts
@@ -115,6 +126,7 @@ class TestComponentsVsCounts:
 
 class TestEndToEndPipeline:
     def test_generate_count_analyze_roundtrip(self, tmp_path):
+        pytest.importorskip("numpy", reason="graph synthesis is numpy-seeded")
         """The full user journey: generate → save → load → count → analyze."""
         from repro.analysis.pairseq import pair_sequence_matrix
         from repro.analysis.rankings import top_k

@@ -76,6 +76,7 @@ def _few_nodes(graph: TemporalGraph, instance) -> bool:
 @pytest.fixture(scope="module")
 def medium_graph(storage_backend: str) -> TemporalGraph:
     """~2k events of bursty synthetic activity, enough to span many shards."""
+    pytest.importorskip("numpy", reason="graph synthesis is numpy-seeded")
     config = ActivityConfig(
         n_nodes=120,
         n_events=2_000,
@@ -510,6 +511,7 @@ def test_straddling_instance_deterministic_example():
 # experiments integration
 # ----------------------------------------------------------------------
 def test_nullmodels_replica_fanout_matches_serial():
+    pytest.importorskip("numpy", reason="null-model shuffles are numpy-seeded")
     from repro.experiments import nullmodels
 
     serial = nullmodels.run(scale=0.05, n_null=2)

@@ -1,7 +1,8 @@
 """Tests for event-pair-based next-event prediction."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.core.eventpairs import ALL_PAIR_TYPES, PairType
 from repro.core.temporal_graph import TemporalGraph

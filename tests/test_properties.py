@@ -7,6 +7,7 @@ restriction-as-filter subset relations, and shuffle conservation laws.
 
 import itertools
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -32,6 +33,15 @@ from repro.core.notation import (
 )
 from repro.core.temporal_graph import TemporalGraph
 from repro.randomization.shuffles import link_shuffle, permuted_timestamps
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - no-numpy fallback leg
+    HAVE_NUMPY = False
+
+requires_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="shuffles are numpy-seeded")
 
 
 # ----------------------------------------------------------------------
@@ -166,6 +176,7 @@ def test_global_inducedness_implies_window_inducedness(graph):
 # ----------------------------------------------------------------------
 # shuffles
 # ----------------------------------------------------------------------
+@requires_numpy
 @given(small_graphs(), st.integers(0, 2**16))
 @settings(max_examples=30)
 def test_permuted_timestamps_conserves_structure(graph, seed):
@@ -176,6 +187,7 @@ def test_permuted_timestamps_conserves_structure(graph, seed):
     )
 
 
+@requires_numpy
 @given(small_graphs(), st.integers(0, 2**16))
 @settings(max_examples=30)
 def test_link_shuffle_conserves_time_lists(graph, seed):

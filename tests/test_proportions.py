@@ -55,6 +55,10 @@ class TestChanges:
 
 
 class TestVariance:
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        pytest.importorskip("numpy", reason="variance summaries use numpy")
+
     def test_zero_for_no_changes(self):
         assert proportion_variance({"a": 0.0, "b": 0.0}) == 0.0
 

@@ -17,8 +17,15 @@ class TestRegistryContents:
 
     def test_paper_dataset_names_present(self):
         expected = {
-            "bitcoin-otc", "college-msg", "calls-copenhagen", "sms-copenhagen",
-            "email", "fb-wall", "sms-a", "stackoverflow", "superuser",
+            "bitcoin-otc",
+            "college-msg",
+            "calls-copenhagen",
+            "sms-copenhagen",
+            "email",
+            "fb-wall",
+            "sms-a",
+            "stackoverflow",
+            "superuser",
         }
         assert set(dataset_names()) == expected
 
@@ -48,6 +55,10 @@ class TestRegistryContents:
 
 
 class TestGetDataset:
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        pytest.importorskip("numpy", reason="dataset synthesis is numpy-seeded")
+
     def test_unknown_name_raises_with_suggestions(self):
         with pytest.raises(KeyError, match="known datasets"):
             get_dataset("nope")

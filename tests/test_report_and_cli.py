@@ -2,6 +2,8 @@
 
 import pytest
 
+pytest.importorskip("numpy", reason="the experiment runner needs numpy-seeded datasets")
+
 from repro.experiments.__main__ import main as cli_main
 from repro.experiments.report import DEFAULT_ORDER, build_report, write_report
 from repro.experiments.runner import EXPERIMENTS

@@ -1,7 +1,8 @@
 """Tests for sampling-based approximate counting."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.algorithms.counting import count_motifs
 from repro.algorithms.sampling import (
@@ -37,7 +38,11 @@ class TestRootSampling:
     def test_estimates_scaled_by_inverse_q(self, small_sms):
         constraints = TimingConstraints(delta_c=300, delta_w=600)
         estimate = estimate_counts_root_sampling(
-            small_sms, 3, constraints, q=0.5, max_nodes=3,
+            small_sms,
+            3,
+            constraints,
+            q=0.5,
+            max_nodes=3,
             rng=np.random.default_rng(0),
         )
         # every estimated value is raw/0.5, i.e. a multiple of 2
@@ -52,7 +57,11 @@ class TestRootSampling:
         totals = []
         for seed in range(12):
             est = estimate_counts_root_sampling(
-                small_sms, 3, constraints, q=0.3, max_nodes=3,
+                small_sms,
+                3,
+                constraints,
+                q=0.3,
+                max_nodes=3,
                 rng=np.random.default_rng(seed),
             )
             totals.append(sum(est.values()))
@@ -67,7 +76,11 @@ class TestRootSampling:
             errors = []
             for seed in range(6):
                 est = estimate_counts_root_sampling(
-                    small_sms, 3, constraints, q=q, max_nodes=3,
+                    small_sms,
+                    3,
+                    constraints,
+                    q=q,
+                    max_nodes=3,
                     rng=np.random.default_rng(seed),
                 )
                 errors.append(relative_error(exact, est))

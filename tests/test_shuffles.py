@@ -4,6 +4,8 @@ from collections import Counter
 
 import pytest
 
+pytest.importorskip("numpy", reason="the shuffle null models are numpy-seeded")
+
 from repro.core.temporal_graph import TemporalGraph
 from repro.randomization.shuffles import (
     link_shuffle,

@@ -16,10 +16,11 @@ from repro.core.temporal_graph import TemporalGraph
 def graph() -> TemporalGraph:
     return TemporalGraph.from_tuples(
         [
-            (0, 1, 0), (1, 2, 5),        # bin 0
-            (0, 1, 12),                  # bin 1: edge (0,1) persists
+            (0, 1, 0),
+            (1, 2, 5),  # bin 0
+            (0, 1, 12),  # bin 1: edge (0,1) persists
             # bin 2 empty
-            (2, 0, 35),                  # bin 3
+            (2, 0, 35),  # bin 3
         ]
     )
 

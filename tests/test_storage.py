@@ -5,6 +5,10 @@ identically to :class:`~repro.storage.ListStorage`, the reference
 implementation extracted verbatim from the original ``TemporalGraph``.
 The parity tests here sweep randomized generated graphs, so adding a
 backend to ``BACKENDS`` below subjects it to the full contract.
+
+``"numpy"`` registers only when NumPy is importable, so ``BACKENDS`` is
+filtered against the live registry — on a NumPy-less interpreter the
+suite covers the two pure-Python backends and skips the rest.
 """
 
 from __future__ import annotations
@@ -28,13 +32,19 @@ from repro.storage import (
     register_backend,
 )
 
-BACKENDS = ("list", "columnar")
+BACKENDS = tuple(
+    name for name in ("list", "columnar", "numpy") if name in available_backends()
+)
+
+#: The backends parity-checked against the ``"list"`` reference.
+NON_REFERENCE_BACKENDS = tuple(name for name in BACKENDS if name != "list")
 
 EVENTS = [(0, 1, 10), (1, 2, 20), (0, 1, 30), (2, 0, 40), (1, 2, 40)]
 
 
 def random_graph(seed: int, *, same_ts: bool = False) -> TemporalGraph:
     """A small, mechanism-rich generated graph (always list-backed)."""
+    pytest.importorskip("numpy", reason="graph synthesis is numpy-seeded")
     config = ActivityConfig(
         n_nodes=40,
         n_events=300,
@@ -50,10 +60,11 @@ def random_graph(seed: int, *, same_ts: bool = False) -> TemporalGraph:
     return generate(config, seed=seed)
 
 
-def both(events) -> tuple[GraphStorage, GraphStorage]:
+def reference_and(backend: str, events) -> tuple[GraphStorage, GraphStorage]:
+    """The ``"list"`` reference plus one backend under test, same events."""
     return (
         ListStorage.from_events(events),
-        ColumnarStorage.from_events(events),
+        get_backend(backend).from_events(events),
     )
 
 
@@ -99,6 +110,15 @@ class TestRegistry:
         storage = make_storage([Event(0, 1, 5.0)], backend="columnar")
         assert isinstance(storage, ColumnarStorage)
         assert storage.to_events() == (Event(0, 1, 5.0),)
+
+    def test_numpy_backend_registered_iff_numpy_available(self):
+        from repro.storage import NumpyStorage, numpy_backend
+
+        if numpy_backend.available():
+            assert "numpy" in available_backends()
+            assert get_backend("numpy") is NumpyStorage
+        else:
+            assert "numpy" not in available_backends()
 
 
 class TestContract:
@@ -250,12 +270,15 @@ class TestColumnarInternals:
 
 
 class TestBackendParity:
-    """ListStorage and ColumnarStorage must be answer-identical."""
+    """Every registered backend must be answer-identical to ListStorage."""
 
     @pytest.fixture(scope="class", params=[101, 202, 303])
-    def pair(self, request):
-        graph = random_graph(request.param, same_ts=request.param == 202)
-        return both(graph.events)
+    def seed_events(self, request):
+        return random_graph(request.param, same_ts=request.param == 202).events
+
+    @pytest.fixture(scope="class", params=NON_REFERENCE_BACKENDS)
+    def pair(self, request, seed_events):
+        return reference_and(request.param, seed_events)
 
     def test_views_identical_including_order(self, pair):
         ref, col = pair
@@ -313,6 +336,31 @@ class TestBackendParity:
         ref, col = pair
         for node in ref.nodes:
             assert ref.neighbors(node) == col.neighbors(node)
+        nodes = sorted(ref.nodes)
+        assert ref.get_nbrs(nodes) == col.get_nbrs(nodes)
+
+    def test_batched_queries_identical(self, pair):
+        ref, col = pair
+        t0, t1 = ref.start_time, ref.end_time
+        span = t1 - t0
+        nodes = (sorted(ref.nodes)[:16] + [10**6]) * 2
+        t_los = [t0 + (i % 7) * span / 7 - 1 for i in range(len(nodes))]
+        t_his = [lo + span / 5 for lo in t_los]
+        assert col.count_node_events_in_batch(
+            nodes, t_los, t_his
+        ) == ref.count_node_events_in_batch(nodes, t_los, t_his)
+        windows = [(t0, t1), (t0 + span / 3, t0 + 2 * span / 3), (t1, t0), (t1, t1)]
+        for lo, hi in windows:
+            assert col.adjacent_events_between(
+                nodes[:5], lo, hi
+            ) == ref.adjacent_events_between(nodes[:5], lo, hi)
+
+    def test_slice_range_and_shard_payload_identical(self, pair):
+        ref, col = pair
+        assert col.slice_range(3, 40).to_events() == ref.slice_range(3, 40).to_events()
+        rebuilt = type(col).from_shard_payload(col.shard_payload(3, 40))
+        assert rebuilt.to_events() == ref.events[3:40]
+        assert type(rebuilt) is type(col)
 
 
 class TestGraphLevelParity:
@@ -339,7 +387,10 @@ class TestGraphLevelParity:
         constraints = TimingConstraints.only_w(1800)
         censuses = [
             run_census(
-                graph.with_backend(backend), 3, constraints, max_nodes=3,
+                graph.with_backend(backend),
+                3,
+                constraints,
+                max_nodes=3,
                 collect_timespans=True,
             )
             for backend in BACKENDS

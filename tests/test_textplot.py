@@ -1,7 +1,8 @@
 """Tests for ASCII rendering."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.analysis.textplot import (
     bar_chart,
