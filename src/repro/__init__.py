@@ -25,6 +25,9 @@ Package map:
   fast two-node counter, streaming pattern matching (including
   :func:`~repro.algorithms.streaming.match_live` against a growing
   graph), cycles, sampling;
+* :mod:`repro.online` — the incremental sliding-window census engine
+  (:class:`~repro.online.OnlineCensus`): exact trailing-window motif
+  counts maintained per arriving event, with page-directory checkpoints;
 * :mod:`repro.datasets` — synthetic dataset generators, the named
   registry, and (gzip-aware, streaming) event-list I/O;
 * :mod:`repro.randomization` — shuffling null models;
@@ -60,6 +63,7 @@ from repro.models import (
     ParanjapeModel,
     SongModel,
 )
+from repro.online import OnlineCensus
 
 __version__ = "1.0.0"
 
@@ -73,6 +77,7 @@ __all__ = [
     "ListStorage",
     "Motif",
     "MotifCensus",
+    "OnlineCensus",
     "PairType",
     "ParanjapeModel",
     "SongModel",

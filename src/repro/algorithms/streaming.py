@@ -169,9 +169,19 @@ class StreamMatcher:
         return out
 
     def _expire(self, now: float) -> None:
-        """Drop partial matches that can no longer complete within ΔW."""
-        horizon = now - self.delta_w
-        self._partials = [p for p in self._partials if p.t_first >= horizon]
+        """Drop partial matches that can no longer complete within ΔW.
+
+        The window is closed — a match whose timespan is *exactly* ΔW is
+        valid (:attr:`Match.timespan` semantics, and the inclusive gap
+        comparisons everywhere else in the library) — so a partial
+        survives while ``now - t_first <= ΔW``.  This is deliberately the
+        same subtraction :meth:`push` uses to admit an extension: the
+        rearranged form ``t_first >= now - ΔW`` rounds differently and
+        can expire a partial that an arrival at the window edge would
+        still legally complete (the boundary rule the shard planner in
+        :mod:`repro.parallel.shards` guards with its overlap slack).
+        """
+        self._partials = [p for p in self._partials if now - p.t_first <= self.delta_w]
 
     def drain(self, events: Iterable[Event]) -> Iterator[Match]:
         """Push a whole (time-sorted) event stream, yielding matches lazily."""

@@ -39,6 +39,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dataset names to run on (default: per-experiment choice)",
     )
     parser.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="W",
+        help=(
+            "trailing-window length in seconds for the online census "
+            "replay (the 'stream' experiment; other experiments ignore it)"
+        ),
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -63,6 +73,8 @@ def main(argv: list[str] | None = None) -> int:
         kwargs["datasets"] = args.datasets
     if args.jobs is not None:
         kwargs["jobs"] = args.jobs
+    if args.window is not None:
+        kwargs["window"] = args.window
     started = time.time()
     if args.experiment == "all":
         for result in run_all(**kwargs):

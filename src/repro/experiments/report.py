@@ -38,6 +38,7 @@ DEFAULT_ORDER: tuple[str, ...] = (
     "figure10",
     "figure11",
     "nullmodels",
+    "stream",
 )
 
 

@@ -8,6 +8,7 @@ from repro.experiments import (
     appendix,
     figure1,
     nullmodels,
+    stream,
     figure3,
     figure4,
     figure5,
@@ -43,6 +44,7 @@ EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
 EXPERIMENTS.update(
     {
         "nullmodels": (nullmodels.run, nullmodels.TITLE),
+        "stream": (stream.run, stream.TITLE),
         "figure7": (appendix.run_figure7, "Figure 7 (appendix): event-pair ratios, part 1"),
         "figure8": (appendix.run_figure8, "Figure 8 (appendix): event-pair ratios, part 2"),
         "figure9": (appendix.run_figure9, "Figure 9 (appendix): intermediate event behaviors"),

@@ -1,0 +1,32 @@
+"""Online sliding-window motif census (live event streams).
+
+Batch counting answers "how many instances of each motif does this graph
+hold?" by walking a fully materialized
+:class:`~repro.core.temporal_graph.TemporalGraph`.  This package answers
+the *live* version of the same question: maintain exact per-motif counts
+for the trailing window ``[now - W, now]`` of a stream, updating them as
+each event arrives instead of re-running
+:func:`~repro.algorithms.counting.run_census` from scratch.
+
+* :class:`~repro.online.census.OnlineCensus` — the incremental engine:
+  ``push(event)`` appends through the storage contract's tail path and
+  discovers only the new instances *ending at* the arrival by extending
+  a node-bucketed store of live prefixes, so per-event cost tracks local
+  activity, never history; instances whose anchor event slides out of
+  the window retire through a monotone expiry heap.
+* :mod:`~repro.online.checkpoint` — page-directory checkpoints
+  (:meth:`OnlineCensus.snapshot` / :meth:`OnlineCensus.restore`) built on
+  the ``"numpy"`` backend's mmap persistence; restore regrows the prefix
+  store by running the batch enumerator — and its
+  :meth:`~repro.storage.base.GraphStorage.adjacent_events_between`
+  candidate seam — over the retained tail.
+
+The engine's core invariant — counts at time *t* equal a batch census of
+``slice_time(t - W, t)`` — is enforced push-by-push by the differential
+property suite in ``tests/test_online.py`` on every storage backend.
+"""
+
+from repro.online.census import OnlineCensus
+from repro.online.checkpoint import load_checkpoint, save_checkpoint
+
+__all__ = ["OnlineCensus", "load_checkpoint", "save_checkpoint"]

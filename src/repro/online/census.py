@@ -1,0 +1,630 @@
+"""The incremental sliding-window census engine.
+
+:class:`OnlineCensus` maintains, for a live event stream, exactly the
+counters a batch :func:`~repro.algorithms.counting.run_census` would
+produce over the trailing window ``[now - W, now]``:
+
+* **Arrival.**  Events within one motif instance have strictly increasing
+  timestamps, so a new arrival can only ever be the chronologically *last*
+  event of an instance — every instance it completes is new, and every
+  previously counted instance is untouched.  The engine keeps a
+  :class:`_PrefixStore` of live *prefixes* (connected-growth sequences of
+  fewer than ``n_events`` events that still satisfy the timing bounds),
+  bucketed by node: an arrival extends exactly the prefixes sharing one
+  of its endpoints whose chained deadline it meets — completing the
+  ``n_events - 1``-long ones into counted instances and storing the
+  shorter extensions as new prefixes.  Each prefix is built once, when
+  its own last event arrives, so per-event cost is proportional to the
+  arrival's local activity, never to history and never to a window
+  rescan.
+* **Expiry.**  A batch census of ``slice_time(t - W, t)`` keeps exactly
+  the instances whose *anchor* (first event) has ``t_anchor >= t - W``
+  — the anchor is the instance's earliest timestamp, so anchor-in-window
+  means instance-in-window.  Counted instances sit in a min-heap keyed by
+  anchor timestamp (the monotone expiry queue); each arrival pops the
+  expired prefix of the heap and decrements the counters.  The horizon
+  ``now - W`` is computed with the same arithmetic as the slice
+  bisection, so the online counts match the batch slice bit-for-bit even
+  at floating-point window edges.
+* **Pruning.**  Events older than ``now - min(W, δ)`` (δ = the
+  constraints' loose timespan bound) can neither join a future instance
+  nor re-enter the window, so :meth:`prune` (or the ``prune_every``
+  auto-trigger) drops them and rebases the internal graph, bounding
+  memory by window activity on an unbounded stream.  Prefixes carry
+  their own timestamps and edges, so pruning never invalidates them.
+
+The storage contract stays the substrate: every arrival lands through the
+backends' :meth:`~repro.storage.base.GraphStorage.append` tail path, and
+checkpoint restore (:mod:`repro.online.checkpoint`) rebuilds the prefix
+store by running the batch enumerator — and therefore its
+:meth:`~repro.storage.base.GraphStorage.adjacent_events_between`
+candidate seam — over the retained tail.
+
+Window-edge conventions mirror the rest of the library: the trailing
+window is closed (an anchor at exactly ``now - W`` is still counted,
+matching ``slice_time``'s ``bisect_left``), extension deadlines reuse
+:meth:`TimingConstraints.next_event_deadline` verbatim (the batch
+enumerator's pruning bound), and the store's bucket prefilters are
+widened by the same ulp slack the parallel engine's shard planner uses,
+so floating-point never loses an instance at a boundary.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import math
+from collections import Counter
+from typing import Callable, Iterable, Iterator
+
+from repro.algorithms.counting import MotifCensus
+from repro.algorithms.enumeration import Instance, enumerate_instances
+from repro.core.constraints import TimingConstraints
+from repro.core.eventpairs import classify_pair
+from repro.core.events import Event
+from repro.core.notation import canonical_code
+from repro.core.temporal_graph import TemporalGraph
+
+Predicate = Callable[[TemporalGraph, Instance], bool]
+
+#: Ulp multiplier for conservative window widening (mirrors
+#: :mod:`repro.parallel.shards`: extra candidates are harmless, the exact
+#: per-extension timing checks reject them; missing candidates would lose
+#: instances).
+_ULP_SLACK = 32.0
+
+#: Pruning uses a much wider slack than the live prefilters so the
+#: retained tail always covers everything a live prefix references, even
+#: across float binade edges.
+_PRUNE_SLACK = 1024.0
+
+
+def _widen_down(bound: float) -> float:
+    """Lower a window start by a few ulps (conservative prefilter bound)."""
+    if not math.isfinite(bound):
+        return bound
+    return bound - _ULP_SLACK * math.ulp(abs(bound) + 1.0)
+
+
+class _Prefix:
+    """One live connected-growth prefix (fewer than ``n_events`` events).
+
+    Self-contained — global event indices, edges, node set, first/last
+    timestamps — so extending, counting and pruning never have to resolve
+    anything against the graph.
+    """
+
+    __slots__ = ("seq", "edges", "nodes", "t_root", "t_last")
+
+    def __init__(self, seq, edges, nodes, t_root, t_last) -> None:
+        self.seq = seq
+        self.edges = edges
+        self.nodes = nodes
+        self.t_root = t_root
+        self.t_last = t_last
+
+
+class _PrefixStore:
+    """Live prefixes bucketed by node, scanned from the recent tail only.
+
+    Within a bucket, prefixes are appended in arrival order, so the
+    parallel ``t_last`` list is non-decreasing and one bisect finds the
+    tail of prefixes an arrival could still extend (any extensible prefix
+    has ``t_last`` within ``gap_bound`` — the tightest of ΔC, ΔW and W —
+    of the arrival).  Gap-dead prefixes are reclaimed by a sweep whenever
+    the stream clock outruns the previous sweep by more than
+    ``gap_bound``, which bounds memory to the prefixes of roughly two
+    windows without ever touching a still-extensible one.
+    """
+
+    __slots__ = ("gap_bound", "_buckets", "_sweep_clock")
+
+    def __init__(self, gap_bound: float) -> None:
+        self.gap_bound = gap_bound
+        self._buckets: dict[int, tuple[list[float], list[_Prefix]]] = {}
+        self._sweep_clock: float | None = None
+
+    def __len__(self) -> int:
+        seen: set[int] = set()
+        for _times, prefixes in self._buckets.values():
+            seen.update(map(id, prefixes))
+        return len(seen)
+
+    def add(self, prefix: _Prefix) -> None:
+        for node in prefix.nodes:
+            bucket = self._buckets.get(node)
+            if bucket is None:
+                bucket = ([], [])
+                self._buckets[node] = bucket
+            bucket[0].append(prefix.t_last)
+            bucket[1].append(prefix)
+
+    def candidates(self, u: int, v: int, now: float) -> list[_Prefix]:
+        """Every prefix touching ``u`` or ``v`` still within the gap bound.
+
+        Each prefix appears once (one touching both endpoints sits in
+        both buckets).  The tail bound is conservative — exact timing is
+        re-checked per extension — and the list is materialized up front
+        so callers may grow the store while walking it.
+        """
+        t_lo = _widen_down(now - self.gap_bound)
+        out: list[_Prefix] = []
+        for node in (u, v):
+            bucket = self._buckets.get(node)
+            if bucket is None:
+                continue
+            times, prefixes = bucket
+            start = bisect.bisect_left(times, t_lo)
+            if not out:
+                out.extend(prefixes[start:])
+            else:
+                seen = set(map(id, out))
+                out.extend(
+                    p for p in prefixes[start:] if id(p) not in seen
+                )
+        return out
+
+    def maybe_sweep(self, now: float) -> None:
+        """Reclaim gap-dead prefixes once per ``gap_bound`` of stream time."""
+        if self._sweep_clock is None:
+            self._sweep_clock = now
+            return
+        if now - self._sweep_clock <= self.gap_bound:
+            return
+        self._sweep_clock = now
+        keep_from = _widen_down(now - self.gap_bound)
+        for node in list(self._buckets):
+            times, prefixes = self._buckets[node]
+            start = bisect.bisect_left(times, keep_from)
+            if start == 0:
+                continue
+            if start >= len(prefixes):
+                del self._buckets[node]
+            else:
+                self._buckets[node] = (times[start:], prefixes[start:])
+
+
+class OnlineCensus:
+    """Exact motif counts over the trailing window of a live stream.
+
+    Parameters
+    ----------
+    n_events:
+        Events per motif instance (the paper uses 3 and 4).
+    constraints:
+        ΔC / ΔW timing bounds applied to every instance, exactly as in
+        :func:`~repro.algorithms.counting.run_census`.
+    window:
+        The sliding-window length W: at any time ``t`` the counters cover
+        instances whose events all lie in the closed window
+        ``[t - window, t]``.
+    max_nodes:
+        Optional cap on distinct nodes per instance (e.g. 3 for the
+        paper's 3n3e family).
+    predicate:
+        Optional restriction applied to each complete instance *at
+        discovery time*, against the live graph.  Counts match a batch
+        census of the window slice when the verdict (a) depends only on
+        the instance's δ-neighborhood inside the window — the same
+        locality contract as :func:`repro.parallel.mark_shard_safe` —
+        and (b) is stable under arrivals strictly later than the
+        instance's last event.  Tick-boundary-sensitive predicates (the
+        consecutive-events restriction counts an event at *exactly* a
+        boundary timestamp as an interruption) satisfy (b) only on
+        tie-free streams: a same-tick event arriving after discovery
+        could flip an already committed verdict.
+    backend:
+        Storage backend for the internal live graph (``None`` = the
+        ``REPRO_STORAGE`` env var, then the library default).
+    prune_every:
+        Auto-prune period, in pushed events: every that many arrivals the
+        engine drops events no future arrival can touch (see
+        :meth:`prune`).  ``None`` disables auto-pruning and the internal
+        graph retains the full history.
+
+    Notes
+    -----
+    ``push`` returns the newly counted instances as tuples of *global*
+    event indices — indices keep counting across :meth:`prune` rebases,
+    so index ``i`` always refers to the ``i``-th pushed event (plus any
+    restored history).  Resolve them against :attr:`graph` only before
+    the next prune.
+    """
+
+    def __init__(
+        self,
+        n_events: int,
+        constraints: TimingConstraints,
+        window: float,
+        *,
+        max_nodes: int | None = None,
+        predicate: Predicate | None = None,
+        backend: str | None = None,
+        prune_every: int | None = None,
+    ) -> None:
+        if n_events < 1:
+            raise ValueError("n_events must be >= 1")
+        if not (window > 0 and math.isfinite(window)):
+            raise ValueError("window must be positive and finite")
+        if prune_every is not None and prune_every < 1:
+            raise ValueError("prune_every must be a positive event count (or None)")
+        self._n_events = n_events
+        self._constraints = constraints
+        self._window = float(window)
+        self._max_nodes = max_nodes
+        self._node_cap = n_events + 1 if max_nodes is None else max_nodes
+        self._predicate = predicate
+        self._prune_every = prune_every
+        self._delta = constraints.loose_timespan_bound(n_events) if n_events > 1 else 0.0
+        bounds = [
+            b
+            for b in (constraints.delta_c, constraints.delta_w, self._window)
+            if b is not None
+        ]
+        self._prefixes = _PrefixStore(min(bounds))
+        self._graph = TemporalGraph((), backend=backend)
+        self._offset = 0  # global index of the retained graph's event 0
+        self._now: float | None = None
+        self._code_counts: Counter = Counter()
+        self._pair_counts: Counter = Counter()
+        self._pair_seq_counts: Counter = Counter()
+        self._total = 0
+        self._pushed = 0
+        self._discovered = 0
+        self._expired = 0
+        self._since_prune = 0
+        self._seq = 0  # heap tiebreaker (payloads are not comparable)
+        self._heap: list[tuple[float, int, str, tuple]] = []
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> TemporalGraph:
+        """The internal live graph (the *retained tail* after pruning)."""
+        return self._graph
+
+    @property
+    def n_events(self) -> int:
+        return self._n_events
+
+    @property
+    def constraints(self) -> TimingConstraints:
+        return self._constraints
+
+    @property
+    def window(self) -> float:
+        return self._window
+
+    @property
+    def now(self) -> float | None:
+        """The stream clock: the latest pushed (or advanced-to) time."""
+        return self._now
+
+    @property
+    def pushed(self) -> int:
+        """Total events pushed over the engine's lifetime."""
+        return self._pushed
+
+    @property
+    def discovered(self) -> int:
+        """Total instances ever counted (monotone; expiry never lowers it)."""
+        return self._discovered
+
+    @property
+    def expired(self) -> int:
+        """Instances retired because their anchor slid out of the window."""
+        return self._expired
+
+    @property
+    def live_instances(self) -> int:
+        """Instances currently inside the window (== ``census().total``)."""
+        return self._total
+
+    @property
+    def live_prefixes(self) -> int:
+        """Prefixes the store currently retains (a memory gauge)."""
+        return len(self._prefixes)
+
+    # ------------------------------------------------------------------
+    # the stream interface
+    # ------------------------------------------------------------------
+    def push(self, event: Event | tuple) -> list[Instance]:
+        """Feed one arrival; return the newly counted instances.
+
+        The event must not predate the stream clock (non-decreasing
+        arrival times, the storage append contract).  Returned instances
+        are tuples of global event indices in chronological order, each
+        ending at the arrival; instances that fail the window bound or
+        the predicate are neither counted nor returned.
+        """
+        ev = event if isinstance(event, Event) else Event(*event)
+        if self._now is not None and ev.t < self._now:
+            raise ValueError(
+                f"push requires non-decreasing times: got t={ev.t} "
+                f"after the stream clock reached t={self._now}"
+            )
+        local = self._graph.append(ev)
+        gidx = local + self._offset
+        t_a = ev.t
+        self._now = t_a
+        self._pushed += 1
+        horizon = t_a - self._window
+        self._expire(horizon)
+
+        out: list[Instance] = []
+        k = self._n_events
+        if k == 1:
+            if self._count((gidx,), (ev.edge,), t_a):
+                out.append((gidx,))
+        else:
+            constraints = self._constraints
+            node_cap = self._node_cap
+            u, v = ev.u, ev.v
+            completions: list[tuple[Instance, tuple, float]] = []
+            for prefix in self._prefixes.candidates(u, v, t_a):
+                # Exact admission, same arithmetic as the batch
+                # enumerator: strictly later than the prefix's last
+                # event, at or before its chained deadline.
+                if t_a <= prefix.t_last:
+                    continue
+                if t_a > constraints.next_event_deadline(prefix.t_root, prefix.t_last):
+                    continue
+                nodes = prefix.nodes
+                extra = (u not in nodes) + (v not in nodes)
+                if extra and len(nodes) + extra > node_cap:
+                    continue
+                if prefix.t_root < horizon:
+                    # Anchored before the window: the horizon only moves
+                    # forward, so nothing grown from this prefix can ever
+                    # be counted.
+                    continue
+                seq = prefix.seq + (gidx,)
+                edges = prefix.edges + (ev.edge,)
+                if len(seq) == k:
+                    completions.append((seq, edges, prefix.t_root))
+                else:
+                    new_nodes = nodes if not extra else nodes + tuple(
+                        n for n in (u, v) if n not in nodes
+                    )
+                    self._prefixes.add(
+                        _Prefix(seq, edges, new_nodes, prefix.t_root, t_a)
+                    )
+            completions.sort(key=lambda item: item[0])
+            for seq, edges, t_root in completions:
+                if self._count(seq, edges, t_root):
+                    out.append(seq)
+            self._prefixes.add(_Prefix((gidx,), (ev.edge,), (u, v), t_a, t_a))
+            self._prefixes.maybe_sweep(t_a)
+
+        self._since_prune += 1
+        if self._prune_every is not None and self._since_prune >= self._prune_every:
+            self.prune()
+        return out
+
+    def _count(self, seq: Instance, edges: tuple, anchor_t: float) -> bool:
+        """Run the predicate, then fold one completed instance in."""
+        if self._predicate is not None:
+            offset = self._offset
+            local_inst = tuple(i - offset for i in seq)
+            if not self._predicate(self._graph, local_inst):
+                return False
+        code = canonical_code(edges)
+        pair_seq = tuple(
+            classify_pair(edges[j], edges[j + 1]) for j in range(len(edges) - 1)
+        )
+        self._code_counts[code] += 1
+        for ptype in pair_seq:
+            self._pair_counts[ptype] += 1
+        self._pair_seq_counts[pair_seq] += 1
+        self._total += 1
+        self._discovered += 1
+        heapq.heappush(self._heap, (anchor_t, self._seq, code, pair_seq))
+        self._seq += 1
+        return True
+
+    def drain(self, events: Iterable[Event | tuple]) -> Iterator[tuple[int, list[Instance]]]:
+        """Push a whole (time-sorted) stream lazily.
+
+        Yields ``(global_event_index, new_instances)`` per arrival,
+        mirroring :func:`repro.algorithms.streaming.match_live`.
+        """
+        for event in events:
+            idx = self._offset + len(self._graph)
+            yield idx, self.push(event)
+
+    def advance_to(self, now: float) -> int:
+        """Move the stream clock forward without an event; expire instances.
+
+        Returns the number of instances retired.  Subsequent pushes must
+        not predate ``now`` (the window never moves backward).
+        """
+        if self._now is not None and now < self._now:
+            raise ValueError(
+                f"cannot advance backward: clock is at t={self._now}, got t={now}"
+            )
+        self._now = now
+        before = self._expired
+        self._expire(now - self._window)
+        return self._expired - before
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def counts(self) -> Counter:
+        """Per-code instance counts for the current window (a copy)."""
+        return Counter(self._code_counts)
+
+    def census(self) -> MotifCensus:
+        """The window's counters as a :class:`MotifCensus` snapshot.
+
+        Matches ``run_census(graph.slice(now - W, now), ...)`` on
+        ``code_counts``, ``pair_counts``, ``pair_sequence_counts`` and
+        ``total``.  The per-code sample lists (timespans, intermediate
+        positions) are batch-only — their caps depend on enumeration
+        order — and stay empty here.
+        """
+        return MotifCensus(
+            n_events=self._n_events,
+            constraints=self._constraints,
+            code_counts=Counter(self._code_counts),
+            pair_counts=Counter(self._pair_counts),
+            pair_sequence_counts=Counter(self._pair_seq_counts),
+            total=self._total,
+        )
+
+    def proportions(self) -> dict[str, float]:
+        """Each code's share of the current window's instance count."""
+        return self.census().proportions()
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def prune(self) -> int:
+        """Drop retained events no future arrival can touch; return #dropped.
+
+        An event can only matter again if a future arrival (at
+        ``t' >= now``) can reach it, i.e. if its timestamp is within
+        ``min(W, δ)`` of ``now`` — older events can neither extend a new
+        instance (δ bound) nor anchor one inside a future window (W
+        bound).  The cutoff is widened by a slack much larger than the
+        live prefilters', so pruning can never race discovery at a
+        floating-point edge.  Counted instances and live prefixes are
+        unaffected (both store timestamps, codes and edges, not graph
+        references), and global event indices stay stable via the rebase
+        offset.
+        """
+        if self._now is None:
+            return 0
+        reach = self._delta if self._delta <= self._window else self._window
+        cutoff = self._now - reach
+        if math.isfinite(cutoff):
+            cutoff -= _PRUNE_SLACK * math.ulp(abs(cutoff) + 1.0)
+        storage = self._graph.storage
+        kept = storage.slice_time(cutoff, math.inf).to_events()
+        dropped = len(storage) - len(kept)
+        self._since_prune = 0
+        if dropped <= 0:
+            return 0
+        rebuilt = type(storage).from_events(kept, presorted=True)
+        self._graph = TemporalGraph._from_storage(rebuilt, name=self._graph.name)
+        self._offset += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # checkpoints (numpy page persistence; see repro.online.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot(self, path) -> None:
+        """Write a restorable checkpoint directory (prunes first).
+
+        The checkpoint holds the retained graph tail as a ``"numpy"``
+        page directory plus a JSON state manifest; requires NumPy.  See
+        :func:`repro.online.checkpoint.save_checkpoint`.
+        """
+        from repro.online.checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @classmethod
+    def restore(
+        cls,
+        path,
+        *,
+        backend: str | None = None,
+        predicate: Predicate | None = None,
+        prune_every: int | None = None,
+    ) -> "OnlineCensus":
+        """Reopen a :meth:`snapshot` checkpoint and resume the stream.
+
+        ``predicate`` is not serializable and must be re-supplied when
+        the original engine used one.  See
+        :func:`repro.online.checkpoint.load_checkpoint`.
+        """
+        from repro.online.checkpoint import load_checkpoint
+
+        return load_checkpoint(
+            path, backend=backend, predicate=predicate, prune_every=prune_every
+        )
+
+    def _rebuild_prefixes(self) -> None:
+        """Regrow the prefix store from the retained tail (restore path).
+
+        A live prefix is nothing but a small instance — a ``j``-event
+        instance for ``j < n_events`` — whose chained deadline has not
+        passed and whose anchor is still inside the window, so the batch
+        enumerator (and therefore the storage contract's
+        ``adjacent_events_between`` candidate seam) re-derives the store
+        exactly from the graph tail a checkpoint carries.
+        """
+        if self._n_events == 1 or self._now is None:
+            return
+        graph = self._graph
+        now = self._now
+        horizon = now - self._window
+        event_at = graph.storage.event_at
+        offset = self._offset
+        rebuilt: list[_Prefix] = []
+        for j in range(1, self._n_events):
+            for inst in enumerate_instances(
+                graph, j, self._constraints, max_nodes=self._node_cap
+            ):
+                first = event_at(inst[0])
+                last = event_at(inst[-1])
+                if first.t < horizon:
+                    continue
+                if now > self._constraints.next_event_deadline(first.t, last.t):
+                    continue
+                edges = tuple(event_at(i).edge for i in inst)
+                nodes: tuple[int, ...] = ()
+                for idx in inst:
+                    ev = event_at(idx)
+                    for n in (ev.u, ev.v):
+                        if n not in nodes:
+                            nodes = nodes + (n,)
+                rebuilt.append(
+                    _Prefix(
+                        tuple(i + offset for i in inst),
+                        edges,
+                        nodes,
+                        first.t,
+                        last.t,
+                    )
+                )
+        # Buckets bisect on non-decreasing t_last (live insertion is in
+        # arrival order); restore must re-install in the same order.
+        rebuilt.sort(key=lambda p: (p.t_last, p.seq))
+        for prefix in rebuilt:
+            self._prefixes.add(prefix)
+        self._prefixes._sweep_clock = now
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _expire(self, horizon: float) -> None:
+        """Retire every instance whose anchor fell below ``horizon``.
+
+        Strictly-below: an anchor at exactly ``now - W`` is still inside
+        the closed window, matching ``slice_time``'s ``bisect_left``.
+        """
+        heap = self._heap
+        while heap and heap[0][0] < horizon:
+            _t, _n, code, pair_seq = heapq.heappop(heap)
+            self._code_counts[code] -= 1
+            if not self._code_counts[code]:
+                del self._code_counts[code]
+            for ptype in pair_seq:
+                self._pair_counts[ptype] -= 1
+                if not self._pair_counts[ptype]:
+                    del self._pair_counts[ptype]
+            self._pair_seq_counts[pair_seq] -= 1
+            if not self._pair_seq_counts[pair_seq]:
+                del self._pair_seq_counts[pair_seq]
+            self._total -= 1
+            self._expired += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<OnlineCensus {self._n_events}-event "
+            f"{self._constraints.describe()} W={self._window:g}: "
+            f"{self._total} live instances, {self._pushed} events pushed>"
+        )

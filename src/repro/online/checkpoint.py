@@ -1,0 +1,168 @@
+"""Checkpoint persistence for :class:`~repro.online.census.OnlineCensus`.
+
+A checkpoint is a directory with two parts:
+
+* ``graph/`` — the engine's retained event tail as a ``"numpy"`` page
+  directory (PR 3's mmap-loadable ``repro-numpy-pages`` layout, written
+  through :meth:`TemporalGraph.save`), and
+* ``state.json`` — the engine configuration, the stream clock, and the
+  live-instance ledger (anchor timestamp, motif code, pair sequence per
+  counted instance).
+
+The counters are *not* stored: they are a pure fold over the ledger, so
+:func:`load_checkpoint` rebuilds them and cross-checks the recorded
+total, which makes a truncated or hand-edited state file fail loudly
+instead of drifting.  Restoring converts the graph to the requested (or
+session-default) storage backend, so a checkpoint written by a
+``"numpy"`` session resumes cleanly under ``"list"`` or ``"columnar"``.
+
+Predicates are code, not data — the manifest only records that one was
+in use, and :func:`load_checkpoint` refuses to resume until the caller
+re-supplies it (pass ``predicate=...``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+
+from repro.core.constraints import TimingConstraints
+from repro.core.eventpairs import PairType
+from repro.core.temporal_graph import TemporalGraph
+from repro.online.census import OnlineCensus, Predicate
+
+#: ``state.json`` manifest identifier / version of the checkpoint layout.
+CHECKPOINT_FORMAT = "repro-online-census"
+CHECKPOINT_VERSION = 1
+
+#: Subdirectory holding the graph tail's numpy page directory.
+GRAPH_DIR = "graph"
+STATE_FILE = "state.json"
+
+
+def save_checkpoint(census: OnlineCensus, path: str | os.PathLike) -> None:
+    """Write ``census`` as a checkpoint directory under ``path``.
+
+    Prunes the engine first so the graph pages hold only the tail a
+    resumed stream can still touch.  Requires NumPy (the page writer
+    converts other backends on the way out).
+    """
+    census.prune()
+    path = os.fspath(path)
+    os.makedirs(path, exist_ok=True)
+    census._graph.save(os.path.join(path, GRAPH_DIR))
+    ledger = [
+        [anchor_t, code, [None if p is None else p.value for p in pair_seq]]
+        for anchor_t, _seq, code, pair_seq in sorted(census._heap)
+    ]
+    state = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "n_events": census._n_events,
+        "delta_c": census._constraints.delta_c,
+        "delta_w": census._constraints.delta_w,
+        "window": census._window,
+        "max_nodes": census._max_nodes,
+        "has_predicate": census._predicate is not None,
+        "now": census._now,
+        "offset": census._offset,
+        "pushed": census._pushed,
+        "discovered": census._discovered,
+        "expired": census._expired,
+        "total": census._total,
+        "ledger": ledger,
+    }
+    with open(os.path.join(path, STATE_FILE), "w") as fh:
+        json.dump(state, fh, indent=2)
+
+
+def load_checkpoint(
+    path: str | os.PathLike,
+    *,
+    backend: str | None = None,
+    predicate: Predicate | None = None,
+    prune_every: int | None = None,
+) -> OnlineCensus:
+    """Reopen a :func:`save_checkpoint` directory and resume the stream.
+
+    Parameters
+    ----------
+    backend:
+        Storage backend for the resumed live graph (``None`` = the
+        ``REPRO_STORAGE`` env var, then the library default).  The pages
+        are always *read* through NumPy; the events are re-indexed under
+        the chosen backend.
+    predicate:
+        Must be supplied iff the snapshotted engine used one (the state
+        manifest records which).
+    prune_every:
+        Auto-prune period for the resumed engine (``None`` disables).
+    """
+    path = os.fspath(path)
+    state_path = os.path.join(path, STATE_FILE)
+    if not os.path.exists(state_path):
+        raise FileNotFoundError(f"{path!r} is not an online-census checkpoint")
+    with open(state_path) as fh:
+        state = json.load(fh)
+    if state.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"{path!r}: unrecognized checkpoint format {state.get('format')!r}")
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"{path!r}: checkpoint version {state.get('version')!r} is not "
+            f"supported (this build reads version {CHECKPOINT_VERSION})"
+        )
+    if state["has_predicate"] and predicate is None:
+        raise ValueError(
+            "the snapshotted engine used a restriction predicate; re-supply "
+            "it via load_checkpoint(..., predicate=...)"
+        )
+    if not state["has_predicate"] and predicate is not None:
+        raise ValueError("the snapshotted engine used no predicate; got one")
+
+    census = OnlineCensus(
+        state["n_events"],
+        TimingConstraints(delta_c=state["delta_c"], delta_w=state["delta_w"]),
+        state["window"],
+        max_nodes=state["max_nodes"],
+        predicate=predicate,
+        backend=backend,
+        prune_every=prune_every,
+    )
+    # The page tail was validated when it was first streamed in; reopening
+    # re-indexes it under the target backend without re-validation — and
+    # when the target is the page format's own backend, the loaded
+    # storage is used as-is (no event-tuple round-trip).
+    loaded = TemporalGraph.load(os.path.join(path, GRAPH_DIR), mmap=False)
+    storage_cls = type(census._graph.storage)
+    if isinstance(loaded.storage, storage_cls):
+        census._graph = loaded
+    else:
+        census._graph = TemporalGraph._from_storage(
+            storage_cls.from_events(loaded.to_events(), presorted=True),
+            name=loaded.name,
+        )
+    census._offset = state["offset"]
+    census._now = state["now"]
+    census._pushed = state["pushed"]
+    census._discovered = state["discovered"]
+    census._expired = state["expired"]
+    heap: list[tuple[float, int, str, tuple]] = []
+    for seq_no, (anchor_t, code, pair_values) in enumerate(state["ledger"]):
+        pair_seq = tuple(None if p is None else PairType(p) for p in pair_values)
+        heap.append((anchor_t, seq_no, code, pair_seq))
+        census._code_counts[code] += 1
+        for ptype in pair_seq:
+            census._pair_counts[ptype] += 1
+        census._pair_seq_counts[pair_seq] += 1
+    heapq.heapify(heap)
+    census._heap = heap
+    census._seq = len(heap)
+    census._total = len(heap)
+    if census._total != state["total"]:
+        raise ValueError(
+            f"{path!r}: ledger holds {census._total} live instances but the "
+            f"manifest records {state['total']} (corrupt checkpoint?)"
+        )
+    census._rebuild_prefixes()
+    return census

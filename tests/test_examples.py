@@ -22,6 +22,12 @@ EXPECTED_OUTPUT = {
     "model_comparison.py": ["3n3e instances", "top-5 motifs", "100.0%"],
     "event_prediction.py": ["transition model", "predicted next events"],
     "node_roles.py": ["strong answerers", "strong askers"],
+    "live_dashboard.py": [
+        "online census",
+        "rolling motif mix",
+        "events/sec sustained",
+        "final window, dominant motifs",
+    ],
 }
 
 

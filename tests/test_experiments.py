@@ -38,6 +38,7 @@ class TestRegistry:
             "figure10",
             "figure11",
             "nullmodels",
+            "stream",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -58,6 +58,26 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "sms-copenhagen" in out
 
+    def test_stream_experiment_with_window_flag(self, capsys):
+        code = cli_main(
+            ["stream", "--scale", "0.1", "--window", "9000",
+             "--datasets", "sms-copenhagen"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "W=9000s" in out
+        assert "events/s" in out
+        assert "parity vs batch recount: ok" in out
+
+    def test_window_flag_is_inert_elsewhere(self, capsys):
+        """--window forwards into every experiment's **_ignored sink."""
+        code = cli_main(
+            ["table2", "--scale", "0.05", "--window", "9000",
+             "--datasets", "sms-copenhagen"]
+        )
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out
+
     def test_unknown_experiment_exits_2(self, capsys):
         assert cli_main(["table99"]) == 2
         err = capsys.readouterr().err

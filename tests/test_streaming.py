@@ -47,6 +47,53 @@ class TestWindow:
         matcher.push(Event(0, 1, 0.0))
         assert len(matcher.push(Event(1, 2, 10.0))) == 1
 
+    def test_expiry_uses_the_admission_arithmetic(self):
+        """A partial the next arrival may legally complete must survive expiry.
+
+        8.3 - 4.4 rounds up past 3.9, so the rearranged horizon test
+        ``t_first >= now - ΔW`` would expire the partial even though the
+        admission check ``now - t_first <= ΔW`` (the closed-window
+        semantics of :attr:`Match.timespan`) accepts the extension.  Both
+        sides must use the same subtraction — the ≤-vs-< window-edge rule
+        the shard planner guards with its overlap slack.
+        """
+        matcher = StreamMatcher(chain_pattern(2), delta_w=4.4)
+        matcher.push(Event(0, 1, 3.9))
+        matches = matcher.push(Event(1, 2, 8.3))
+        assert len(matches) == 1
+        assert matches[0].timespan <= 4.4
+
+    def test_same_timestamp_boundary_events_complete(self):
+        """Same-tick arrivals at exactly t_first + ΔW all extend the partial."""
+        matcher = StreamMatcher(chain_pattern(2), delta_w=10)
+        matcher.push(Event(0, 1, 0.0))
+        assert len(matcher.push(Event(1, 2, 10.0))) == 1
+        # a second boundary event in the same tick: the partial is still live
+        assert len(matcher.push(Event(1, 3, 10.0))) == 1
+        # one tick later the partial is gone
+        assert matcher.push(Event(1, 4, 10.5)) == []
+
+    def test_expiry_agrees_with_match_timespan_everywhere(self):
+        """Brute-force cross-check: emitted chain matches == admissible pairs.
+
+        Every (first, second) pair sharing the chain shape with
+        ``t2 - t1 <= ΔW`` — the closed :attr:`Match.timespan` window —
+        must be emitted, including the awkward one-decimal floats where
+        ``now - ΔW`` and ``now - t_first`` round differently.
+        """
+        times = [round(0.1 * k, 1) for k in range(0, 90, 7)]
+        events = [Event(i % 3, i % 3 + 1, t) for i, t in enumerate(times)]
+        delta_w = 2.1
+        matcher = StreamMatcher(chain_pattern(2), delta_w=delta_w)
+        emitted = sum(len(matcher.push(ev)) for ev in events)
+        expected = sum(
+            1
+            for i, a in enumerate(events)
+            for b in events[i + 1 :]
+            if a.v == b.u and b.t - a.t <= delta_w and b.t > a.t
+        )
+        assert emitted == expected
+
     def test_live_partials_pruned(self):
         matcher = StreamMatcher(chain_pattern(2), delta_w=5)
         matcher.push(Event(0, 1, 0.0))
