@@ -152,6 +152,10 @@ def check(
 def _regen_hint(benchmark: str) -> str:
     if benchmark == "bench_parallel":
         return "benchmarks/bench_parallel.py --events 20000 --jobs 1 2 4 --rounds 2"
+    if benchmark == "bench_online":
+        return "benchmarks/bench_online.py --events 20000"
+    if benchmark == "bench_engine":
+        return "benchmarks/bench_engine.py --events 20000"
     return "benchmarks/bench_storage.py --events 20000"
 
 

@@ -20,14 +20,21 @@ Package map:
   plain-list reference backend, and a columnar (flat ``array`` + CSR
   offsets) backend; select per graph via ``backend=`` or globally via the
   ``REPRO_STORAGE`` environment variable;
+* :mod:`repro.engine` — the unified motif-execution engine: one
+  compiled :class:`~repro.engine.ExecutionPlan`
+  (:func:`~repro.engine.compile_plan`) per run plus per-backend
+  frontier-extension kernels (generic bisection, vectorized NumPy);
+  batch, parallel, online and sampling counting all run through it;
 * :mod:`repro.models` — the four surveyed motif models;
-* :mod:`repro.algorithms` — enumeration, restrictions, counting, the
-  fast two-node counter, streaming pattern matching (including
+* :mod:`repro.algorithms` — enumeration (a thin driver over the
+  engine), restrictions, counting, the fast two-node counter, streaming
+  pattern matching (including
   :func:`~repro.algorithms.streaming.match_live` against a growing
-  graph), cycles, sampling;
+  graph), cycles, sampling (``jobs=``-sharded estimators);
 * :mod:`repro.online` — the incremental sliding-window census engine
   (:class:`~repro.online.OnlineCensus`): exact trailing-window motif
-  counts maintained per arriving event, with page-directory checkpoints;
+  counts maintained per arriving event through the execution engine's
+  kernel, with page-directory checkpoints;
 * :mod:`repro.datasets` — synthetic dataset generators, the named
   registry, and (gzip-aware, streaming) event-list I/O;
 * :mod:`repro.randomization` — shuffling null models;
@@ -57,6 +64,7 @@ from repro.core import (
 )
 from repro.core.motif import Motif
 from repro.datasets import get_dataset
+from repro.engine import ExecutionPlan, compile_plan
 from repro.models import (
     HulovatyyModel,
     KovanenModel,
@@ -71,6 +79,7 @@ __all__ = [
     "ColumnarStorage",
     "ConstraintRegime",
     "Event",
+    "ExecutionPlan",
     "GraphStorage",
     "HulovatyyModel",
     "KovanenModel",
@@ -86,6 +95,7 @@ __all__ = [
     "all_motif_codes",
     "canonical_code",
     "classify_pair",
+    "compile_plan",
     "count_event_pairs",
     "count_motifs",
     "enumerate_instances",

@@ -17,6 +17,7 @@ from repro.core.constraints import TimingConstraints
 from repro.core.eventpairs import CW_GROUP, RPIO_GROUP, classify_pair
 from repro.core.notation import canonical_code
 from repro.core.temporal_graph import TemporalGraph
+from repro.engine import ExecutionPlan
 
 Predicate = Callable[[TemporalGraph, Instance], bool]
 
@@ -31,6 +32,20 @@ def _parallel_jobs(jobs: int | None) -> int:
     return resolve_jobs(jobs)
 
 
+def _normalize_roots(roots: Iterable[int] | None) -> tuple[list[int] | None, bool]:
+    """Materialize a roots iterable; report whether it is non-decreasing.
+
+    The sharded parallel path merges per-shard results in ascending
+    anchor order, so it reproduces the serial pass bit-for-bit only when
+    the requested roots are already sorted (the sampling estimators'
+    shape).  Unsorted roots simply stay on the serial path.
+    """
+    if roots is None:
+        return None, True
+    root_list = list(roots)
+    return root_list, all(a <= b for a, b in zip(root_list, root_list[1:]))
+
+
 def count_motifs(
     graph: TemporalGraph,
     n_events: int,
@@ -41,6 +56,7 @@ def count_motifs(
     predicate: Predicate | None = None,
     jobs: int | None = None,
     roots: Iterable[int] | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> Counter:
     """Count motif instances per canonical code.
 
@@ -56,12 +72,18 @@ def count_motifs(
     jobs:
         Worker processes for a sharded count (``None`` = session default /
         ``REPRO_JOBS`` / serial; ``<= 0`` = one per CPU).  The result is
-        bit-identical to the serial count, including key order.
+        bit-identical to the serial count, including key order.  Sorted
+        ``roots`` shard alongside the full search (the sampling
+        estimators route here); unsorted roots stay serial.
     roots:
         Restrict to instances anchored at these event indices (see
         :func:`~repro.algorithms.enumeration.enumerate_instances`).
+    plan:
+        Precompiled :class:`~repro.engine.plan.ExecutionPlan` (advanced;
+        see :func:`repro.engine.compile_plan`).
     """
-    if roots is None and _parallel_jobs(jobs) > 1:
+    roots, roots_sorted = _normalize_roots(roots)
+    if roots_sorted and _parallel_jobs(jobs) > 1:
         from repro.parallel import parallel_count_motifs
 
         return parallel_count_motifs(
@@ -72,6 +94,8 @@ def count_motifs(
             max_nodes=max_nodes,
             node_counts=node_counts,
             predicate=predicate,
+            roots=roots,
+            plan=plan,
         )
     wanted = set(node_counts) if node_counts is not None else None
     counts: Counter = Counter()
@@ -83,6 +107,7 @@ def count_motifs(
         predicate=predicate,
         roots=roots,
         jobs=1,
+        plan=plan,
     ):
         code = canonical_code([graph.events[i].edge for i in inst])
         if wanted is not None and len(set(code)) not in wanted:
@@ -100,6 +125,7 @@ def count_event_pairs(
     predicate: Predicate | None = None,
     jobs: int | None = None,
     roots: Iterable[int] | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> Counter:
     """Count event-pair types across all consecutive pairs of all instances.
 
@@ -107,7 +133,8 @@ def count_event_pairs(
     ``m − 1`` pair observations.  Disjoint consecutive pairs (possible only
     in 4-node motifs) are counted under ``None``.
     """
-    if roots is None and _parallel_jobs(jobs) > 1:
+    roots, roots_sorted = _normalize_roots(roots)
+    if roots_sorted and _parallel_jobs(jobs) > 1:
         from repro.parallel import parallel_count_event_pairs
 
         return parallel_count_event_pairs(
@@ -117,6 +144,8 @@ def count_event_pairs(
             jobs=jobs,
             max_nodes=max_nodes,
             predicate=predicate,
+            roots=roots,
+            plan=plan,
         )
     counts: Counter = Counter()
     for inst in enumerate_instances(
@@ -127,6 +156,7 @@ def count_event_pairs(
         predicate=predicate,
         roots=roots,
         jobs=1,
+        plan=plan,
     ):
         edges = [graph.events[i].edge for i in inst]
         for first, second in zip(edges, edges[1:]):
@@ -221,6 +251,7 @@ def run_census(
     sample_cap: int = DEFAULT_SAMPLE_CAP,
     jobs: int | None = None,
     roots: Iterable[int] | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> MotifCensus:
     """Enumerate once and collect every summary the experiments need.
 
@@ -238,8 +269,12 @@ def run_census(
         lists included).
     roots:
         Restrict to instances anchored at these event indices.
+    plan:
+        Precompiled :class:`~repro.engine.plan.ExecutionPlan` (advanced;
+        see :func:`repro.engine.compile_plan`).
     """
-    if roots is None and _parallel_jobs(jobs) > 1:
+    roots, roots_sorted = _normalize_roots(roots)
+    if roots_sorted and _parallel_jobs(jobs) > 1:
         from repro.parallel import parallel_run_census
 
         return parallel_run_census(
@@ -254,12 +289,20 @@ def run_census(
             timespan_codes=timespan_codes,
             position_codes=position_codes,
             sample_cap=sample_cap,
+            roots=roots,
+            plan=plan,
         )
     census = MotifCensus(n_events=n_events, constraints=constraints)
     span_filter = set(timespan_codes) if timespan_codes is not None else None
     pos_filter = set(position_codes) if position_codes is not None else None
-    events = graph.events
     times = graph.times
+    # Resolve each event's (u, v) pair once up front: the fold reads a
+    # motif's edges per instance, and instances outnumber events.
+    edge_of = [ev.edge for ev in graph.events]
+    code_counts = census.code_counts
+    pair_counts = census.pair_counts
+    pair_sequence_counts = census.pair_sequence_counts
+    total = 0
 
     for inst in enumerate_instances(
         graph,
@@ -269,17 +312,16 @@ def run_census(
         predicate=predicate,
         roots=roots,
         jobs=1,
+        plan=plan,
     ):
-        edges = [events[i].edge for i in inst]
+        edges = [edge_of[i] for i in inst]
         code = canonical_code(edges)
-        census.code_counts[code] += 1
-        census.total += 1
-        pair_seq = tuple(
-            classify_pair(edges[j], edges[j + 1]) for j in range(len(edges) - 1)
-        )
+        code_counts[code] += 1
+        total += 1
+        pair_seq = tuple(map(classify_pair, edges, edges[1:]))
         for ptype in pair_seq:
-            census.pair_counts[ptype] += 1
-        census.pair_sequence_counts[pair_seq] += 1
+            pair_counts[ptype] += 1
+        pair_sequence_counts[pair_seq] += 1
 
         if collect_timespans and (span_filter is None or code in span_filter):
             bucket = census.timespans.setdefault(code, [])
@@ -297,6 +339,7 @@ def run_census(
                     if len(bucket2) >= sample_cap:
                         break
                     bucket2.append((pos, (times[idx] - t_first) / span))
+    census.total = total
     return census
 
 
@@ -309,9 +352,11 @@ def total_instances(
     predicate: Predicate | None = None,
     jobs: int | None = None,
     roots: Iterable[int] | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> int:
     """Total number of instances, without per-code bookkeeping."""
-    if roots is None and _parallel_jobs(jobs) > 1:
+    roots, roots_sorted = _normalize_roots(roots)
+    if roots_sorted and _parallel_jobs(jobs) > 1:
         from repro.parallel import parallel_total_instances
 
         return parallel_total_instances(
@@ -321,6 +366,8 @@ def total_instances(
             jobs=jobs,
             max_nodes=max_nodes,
             predicate=predicate,
+            roots=roots,
+            plan=plan,
         )
     return sum(
         1
@@ -332,12 +379,21 @@ def total_instances(
             predicate=predicate,
             roots=roots,
             jobs=1,
+            plan=plan,
         )
     )
 
 
 def merge_counters(counters: Iterable[Counter]) -> Counter:
-    """Sum a collection of counters (used by chunked/parallel counting)."""
+    """Sum counters, preserving first-appearance key order across inputs.
+
+    The one reduction primitive behind every chunked/parallel count:
+    :func:`repro.parallel.merge.merge_counts` is this function (re-exported
+    for compatibility).  Key order matters — mapping iteration order is
+    part of the storage contract, and seeded randomized consumers depend
+    on merged counters coming out exactly as a single serial pass would
+    have filled them.
+    """
     out: Counter = Counter()
     for counter in counters:
         out.update(counter)

@@ -11,18 +11,22 @@ such that
 * the :class:`~repro.core.constraints.TimingConstraints` are satisfied:
   consecutive gaps ≤ ΔC and whole span ≤ ΔW, whichever are set.
 
-The engine is a DFS over growing suffixes.  Candidate events for the next
-position are generated through the graph's storage engine
-(:meth:`~repro.storage.base.GraphStorage.adjacent_events_between`): the
-nodes already in the motif are asked — in one batched call — for the
-deduplicated union of their events in the admissible half-open window.
-This keeps the work proportional to the number of *extensible* events
-rather than the whole stream, and it is the engine's vectorization seam:
-the generic implementation unions per-node
+Since the engine PR this module is a thin driver over the unified
+execution engine (:mod:`repro.engine`): :func:`enumerate_instances`
+compiles — or fetches from the session cache — an
+:class:`~repro.engine.plan.ExecutionPlan` (the once-per-run resolution
+of the chained deadlines, the node cap and the backend's kernel
+capability) and streams :func:`repro.engine.run_plan`, which grows
+root-block frontiers through the backend's
+:class:`~repro.engine.kernels.ExtensionKernel`.  The generic kernel
+unions per-node
 :meth:`~repro.storage.base.GraphStorage.node_events_between` bisections
-(the original per-event path), while array-backed engines such as the
-``"numpy"`` backend prefilter every motif node's successor events with a
-constant number of ``searchsorted`` probes over contiguous columns.
+via :meth:`~repro.storage.base.GraphStorage.adjacent_events_between`
+(the original per-event path); the ``"numpy"`` backend's kernel extends
+whole batches of partial instances with a constant number of
+``searchsorted`` probes per frontier level.  The yield order is
+bit-identical to the historical recursive DFS (see
+:mod:`repro.engine.driver` for the equivalence argument).
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from typing import Callable, Iterator, Sequence
 from repro.core.constraints import TimingConstraints
 from repro.core.notation import canonical_code
 from repro.core.temporal_graph import TemporalGraph
+from repro.engine import ExecutionPlan, compile_plan, run_plan
 
 Instance = tuple[int, ...]
 
@@ -46,6 +51,7 @@ def enumerate_instances(
     max_instances: int | None = None,
     roots: Sequence[int] | None = None,
     jobs: int | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> Iterator[Instance]:
     """Yield all motif instances of ``n_events`` events in ``graph``.
 
@@ -82,6 +88,13 @@ def enumerate_instances(
         counting entry points, not by this generator.  A ``jobs`` value
         is also ignored when ``roots`` or ``max_instances`` is given
         (both are inherently sequential contracts).
+    plan:
+        A precompiled :class:`~repro.engine.plan.ExecutionPlan` to run
+        instead of compiling one from the arguments (advanced: the
+        parallel engine ships plans to shard workers; benchmarks force
+        specific kernels).  When given, the plan's own ``predicate``
+        and node cap win over the ``predicate`` / ``max_nodes``
+        arguments, which must describe the same configuration.
 
     Yields
     ------
@@ -102,62 +115,18 @@ def enumerate_instances(
                 jobs=jobs,
                 max_nodes=max_nodes,
                 predicate=predicate,
+                plan=plan,
             )
             return
-    events = graph.events
-    times = graph.times
-    # The storage engine's batched candidate query: vectorized window
-    # prefiltering on array-backed engines, per-node bisection elsewhere.
-    adjacent_events_between = graph.storage.adjacent_events_between
-    node_cap = n_events + 1 if max_nodes is None else max_nodes
-    yielded = 0
-
-    # Iterative DFS with an explicit stack of (sequence, node-tuple) states.
-    root_iter = range(len(events)) if roots is None else roots
-    for root in root_iter:
-        root_ev = events[root]
-        t_root = times[root]
-        if n_events == 1:
-            inst = (root,)
-            if predicate is None or predicate(graph, inst):
-                yield inst
-                yielded += 1
-                if max_instances is not None and yielded >= max_instances:
-                    return
-            continue
-        stack: list[tuple[list[int], tuple[int, ...]]] = [
-            ([root], (root_ev.u, root_ev.v))
-        ]
-        while stack:
-            seq, nodes = stack.pop()
-            t_last = times[seq[-1]]
-            deadline = constraints.next_event_deadline(t_root, t_last)
-            if deadline <= t_last:
-                continue
-            candidates = adjacent_events_between(nodes, t_last, deadline)
-            for idx in candidates:
-                ev = events[idx]
-                new_nodes = nodes
-                extra = 0
-                if ev.u not in nodes:
-                    extra += 1
-                if ev.v not in nodes:
-                    extra += 1
-                if extra:
-                    if len(nodes) + extra > node_cap:
-                        continue
-                    new_nodes = nodes + tuple(
-                        n for n in (ev.u, ev.v) if n not in nodes
-                    )
-                if len(seq) + 1 == n_events:
-                    inst = tuple(seq) + (idx,)
-                    if predicate is None or predicate(graph, inst):
-                        yield inst
-                        yielded += 1
-                        if max_instances is not None and yielded >= max_instances:
-                            return
-                else:
-                    stack.append((seq + [idx], new_nodes))
+    if plan is None:
+        plan = compile_plan(
+            n_events,
+            constraints,
+            predicate,
+            graph.storage,
+            max_nodes=max_nodes,
+        )
+    yield from run_plan(plan, graph, roots=roots, max_instances=max_instances)
 
 
 def instance_code(graph: TemporalGraph, instance: Instance) -> str:

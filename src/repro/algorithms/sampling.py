@@ -18,15 +18,13 @@ locality — closer to the paper's interval sampling.
 from __future__ import annotations
 
 import math
-from collections import Counter
 
 from repro.core._optional import import_numpy
 
 np = import_numpy()
 
-from repro.algorithms.enumeration import enumerate_instances
+from repro.algorithms.counting import count_motifs
 from repro.core.constraints import TimingConstraints
-from repro.core.notation import canonical_code
 from repro.core.temporal_graph import TemporalGraph
 
 
@@ -38,6 +36,7 @@ def estimate_counts_root_sampling(
     *,
     max_nodes: int | None = None,
     rng: np.random.Generator | None = None,
+    jobs: int | None = None,
 ) -> dict[str, float]:
     """Unbiased per-code count estimates via root sampling.
 
@@ -48,6 +47,12 @@ def estimate_counts_root_sampling(
         exact counting.
     rng:
         NumPy generator for reproducibility (seeded fresh when omitted).
+    jobs:
+        Worker processes for the sampled enumeration.  Routed through the
+        parallel engine exactly like :func:`run_census` — argument, then
+        session default, then ``REPRO_JOBS``, else serial — and the
+        estimate is bit-identical to the serial run (the sampled roots
+        are ascending, so shards partition them exactly).
 
     Returns
     -------
@@ -61,11 +66,9 @@ def estimate_counts_root_sampling(
         return {}
     mask = rng.random(m) < q
     roots = [i for i in range(m) if mask[i]]
-    raw: Counter = Counter()
-    for inst in enumerate_instances(
-        graph, n_events, constraints, max_nodes=max_nodes, roots=roots
-    ):
-        raw[canonical_code([graph.events[i].edge for i in inst])] += 1
+    raw = count_motifs(
+        graph, n_events, constraints, max_nodes=max_nodes, roots=roots, jobs=jobs
+    )
     return {code: count / q for code, count in raw.items()}
 
 
@@ -78,6 +81,7 @@ def estimate_counts_window_sampling(
     q: float,
     max_nodes: int | None = None,
     rng: np.random.Generator | None = None,
+    jobs: int | None = None,
 ) -> dict[str, float]:
     """Per-code estimates by sampling root *windows* of fixed length.
 
@@ -87,6 +91,8 @@ def estimate_counts_window_sampling(
     instance has exactly one root and each root lies in exactly one
     window, the ``raw / q`` estimator stays unbiased; sampling whole
     windows preserves the burst locality exploited by interval samplers.
+    ``jobs`` shards the sampled enumeration exactly like
+    :func:`estimate_counts_root_sampling`.
     """
     if not 0 < q <= 1:
         raise ValueError("q must be in (0, 1]")
@@ -103,11 +109,9 @@ def estimate_counts_window_sampling(
         for i, t in enumerate(graph.times)
         if keep[int((t - t0) // window)]
     ]
-    raw: Counter = Counter()
-    for inst in enumerate_instances(
-        graph, n_events, constraints, max_nodes=max_nodes, roots=roots
-    ):
-        raw[canonical_code([graph.events[i].edge for i in inst])] += 1
+    raw = count_motifs(
+        graph, n_events, constraints, max_nodes=max_nodes, roots=roots, jobs=jobs
+    )
     return {code: count / q for code, count in raw.items()}
 
 

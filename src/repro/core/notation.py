@@ -28,6 +28,9 @@ from typing import Iterable, Sequence
 #: Maximum nodes representable with single-digit notation.
 MAX_NOTATION_NODES = 10
 
+#: Digit lookup for the encoder's hot path (cheaper than ``str(int)``).
+_DIGIT_CHARS = "0123456789"
+
 
 def canonical_code(node_pairs: Sequence[tuple[int, int]]) -> str:
     """Encode a chronologically ordered event sequence as a motif code.
@@ -42,16 +45,25 @@ def canonical_code(node_pairs: Sequence[tuple[int, int]]) -> str:
     """
     mapping: dict[int, int] = {}
     digits: list[str] = []
+    append = digits.append
+    get = mapping.get
     for u, v in node_pairs:
         if u == v:
             raise ValueError(f"self-loop ({u}, {v}) has no motif code")
-        for node in (u, v):
-            if node not in mapping:
-                if len(mapping) >= MAX_NOTATION_NODES:
-                    raise ValueError("motif has too many nodes for digit notation")
-                mapping[node] = len(mapping)
-        digits.append(str(mapping[u]))
-        digits.append(str(mapping[v]))
+        du = get(u)
+        if du is None:
+            du = len(mapping)
+            if du >= MAX_NOTATION_NODES:
+                raise ValueError("motif has too many nodes for digit notation")
+            mapping[u] = du
+        dv = get(v)
+        if dv is None:
+            dv = len(mapping)
+            if dv >= MAX_NOTATION_NODES:
+                raise ValueError("motif has too many nodes for digit notation")
+            mapping[v] = dv
+        append(_DIGIT_CHARS[du])
+        append(_DIGIT_CHARS[dv])
     return "".join(digits)
 
 

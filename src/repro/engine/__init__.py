@@ -1,0 +1,57 @@
+"""The unified motif-execution engine: plan/kernel split.
+
+One compiled :class:`ExecutionPlan` (:func:`compile_plan`) resolves the
+chained-deadline schedule, restriction shard-safety and the backend's
+kernel capability once per run; per-backend
+:class:`~repro.engine.kernels.ExtensionKernel` implementations answer
+the single primitive every counting path shares —
+``extend_frontier(partials, lo, hi)`` — and :func:`run_plan` drives it
+in the serial DFS yield order.
+
+Consumers:
+
+* :func:`repro.algorithms.enumeration.enumerate_instances` is a thin
+  driver over the plan (public API unchanged);
+* :mod:`repro.parallel.engine` ships the compiled plan to shard workers
+  instead of re-deriving constraints per shard;
+* :class:`repro.online.OnlineCensus` runs its per-arrival prefix
+  admission and snapshot-restore regrow through the same kernel;
+* :mod:`repro.algorithms.sampling` enumerates from sampled roots
+  through the plan (and the parallel engine via ``jobs=``).
+
+This is the only home of the extension-admission arithmetic; see
+ROADMAP.md "Execution engine contract (PR 5)" for the invariants.
+"""
+
+from repro.engine.driver import ROOT_BLOCK, run_plan
+from repro.engine.kernels import (
+    KERNELS,
+    ExtensionKernel,
+    GenericExtensionKernel,
+    NumpyExtensionKernel,
+    Partial,
+    has_kernel,
+    kernel_for,
+)
+from repro.engine.plan import (
+    ExecutionPlan,
+    clear_plan_cache,
+    compile_plan,
+    is_shard_safe,
+)
+
+__all__ = [
+    "KERNELS",
+    "ROOT_BLOCK",
+    "ExecutionPlan",
+    "ExtensionKernel",
+    "GenericExtensionKernel",
+    "NumpyExtensionKernel",
+    "Partial",
+    "clear_plan_cache",
+    "compile_plan",
+    "has_kernel",
+    "is_shard_safe",
+    "kernel_for",
+    "run_plan",
+]

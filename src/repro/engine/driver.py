@@ -1,0 +1,127 @@
+"""The frontier driver: plans + kernels -> instances, in serial DFS order.
+
+:func:`run_plan` walks roots in blocks and grows each block's frontier
+level-synchronously, one :meth:`ExtensionKernel.extend_frontier` call
+per level — so a vectorized kernel amortizes whole-frontier batches
+while the generic kernel degenerates to the familiar per-partial loop.
+
+Yield order is **bit-identical to the historical recursive DFS**, which
+the library's counter key order, capped sample lists and seeded
+consumers all depend on.  The equivalence: the old DFS popped a LIFO
+stack where each pop pushed its admissible children in ascending event
+order, and *only final-level states yield*.  Nothing is emitted at
+intermediate depths, so the interleaving of subtrees is unobservable —
+all that matters is the order final-level states are popped, and that
+order rebuilds level-by-level: the pop order of depth ``d+1`` is, for
+each depth-``d`` state in pop order, its children in **descending**
+event order (LIFO reversal).  The driver maintains the frontier in
+exactly this pop order and emits completions per final-level partial in
+ascending event order — the DFS sequence, without the DFS.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.engine.kernels import Partial
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.temporal_graph import TemporalGraph
+    from repro.engine.plan import ExecutionPlan
+
+Instance = tuple[int, ...]
+
+#: Maximum roots expanded per frontier batch: large enough to feed
+#: vectorized kernels whole-frontier sweeps while keeping the per-block
+#: frontier memory-bounded.
+ROOT_BLOCK = 2048
+
+#: First block size.  Blocks grow geometrically from here to
+#: :data:`ROOT_BLOCK`, so an early-terminating consumer (``next(...)``,
+#: a small ``max_instances``) pays for a few dozen roots, not thousands,
+#: while a full scan still amortizes kernel calls over large frontiers.
+FIRST_BLOCK = 64
+
+
+def run_plan(
+    plan: "ExecutionPlan",
+    graph: "TemporalGraph",
+    *,
+    roots: Iterable[int] | None = None,
+    max_instances: int | None = None,
+) -> Iterator[Instance]:
+    """Enumerate every instance the plan admits, in serial DFS order.
+
+    ``roots`` restricts the search to instances anchored at those event
+    indices, in the order given (the sampling estimators' contract);
+    ``max_instances`` stops the stream after that many yields.
+    """
+    predicate = plan.predicate
+    storage = graph.storage
+    m = len(storage)
+    root_iter: Iterable[int] = range(m) if roots is None else roots
+    yielded = 0
+
+    if plan.n_events == 1:
+        for root in root_iter:
+            inst = (root,)
+            if predicate is None or predicate(graph, inst):
+                yield inst
+                yielded += 1
+                if max_instances is not None and yielded >= max_instances:
+                    return
+        return
+
+    kernel = plan.bind(storage)
+    times = storage.times
+    event_at = storage.event_at
+    block_cap = FIRST_BLOCK
+    block: list[Partial] = []
+    for root in root_iter:
+        ev = event_at(root)
+        block.append(Partial((root,), (ev.u, ev.v), ev.t, ev.t))
+        if len(block) >= block_cap:
+            if max_instances is None:
+                yield from _expand_block(plan, graph, kernel, block, times, m)
+            else:
+                for inst in _expand_block(plan, graph, kernel, block, times, m):
+                    yield inst
+                    yielded += 1
+                    if yielded >= max_instances:
+                        return
+            block = []
+            if block_cap < ROOT_BLOCK:
+                block_cap *= 2
+    if block:
+        if max_instances is None:
+            yield from _expand_block(plan, graph, kernel, block, times, m)
+        else:
+            for inst in _expand_block(plan, graph, kernel, block, times, m):
+                yield inst
+                yielded += 1
+                if yielded >= max_instances:
+                    return
+
+
+def _expand_block(plan, graph, kernel, frontier, times, m) -> Iterator[Instance]:
+    """Grow one root block to completion, one kernel call per level."""
+    n = plan.n_events
+    predicate = plan.predicate
+    for depth in range(1, n):
+        if depth == n - 1:
+            extensions = kernel.extend_frontier(frontier, 0, m, need_nodes=False)
+            if predicate is None:
+                for pos, idx, _nodes in extensions:
+                    yield frontier[pos].seq + (idx,)
+            else:
+                for pos, idx, _nodes in extensions:
+                    inst = frontier[pos].seq + (idx,)
+                    if predicate(graph, inst):
+                        yield inst
+            return
+        # Next frontier in DFS pop order: parents keep their order, each
+        # parent's children flip to descending (the LIFO reversal) —
+        # fused with admission inside the kernel.
+        frontier = kernel.next_frontier(frontier, 0, m, times)
+        if not frontier:
+            return

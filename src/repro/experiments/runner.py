@@ -63,6 +63,14 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     becomes the session default worker count for the duration of the
     experiment, so every census inside it — including ones in experiments
     that predate the parallel engine — shards across that many processes.
+
+    Execution plans are reused across the session: every census a run
+    performs resolves its configuration through
+    :func:`repro.engine.compile_plan`, whose memo hands the same
+    compiled plan to every dataset sharing one of the paper's few
+    ``(n_events, constraints, restriction)`` configurations — the
+    deadline schedule, shard safety and kernel capability are derived
+    once per configuration, not once per table cell.
     """
     try:
         run, _title = EXPERIMENTS[experiment_id]

@@ -42,11 +42,13 @@ candidate seam — over the retained tail.
 
 Window-edge conventions mirror the rest of the library: the trailing
 window is closed (an anchor at exactly ``now - W`` is still counted,
-matching ``slice_time``'s ``bisect_left``), extension deadlines reuse
-:meth:`TimingConstraints.next_event_deadline` verbatim (the batch
-enumerator's pruning bound), and the store's bucket prefilters are
-widened by the same ulp slack the parallel engine's shard planner uses,
-so floating-point never loses an instance at a boundary.
+matching ``slice_time``'s ``bisect_left``), extension admission runs
+through the execution engine's kernel
+(:meth:`repro.engine.kernels.ExtensionKernel.extend_frontier` — the
+batch enumerator's own deadline arithmetic, in its only
+implementation), and the store's bucket prefilters are widened by the
+same ulp slack the parallel engine's shard planner uses, so
+floating-point never loses an instance at a boundary.
 """
 
 from __future__ import annotations
@@ -64,6 +66,7 @@ from repro.core.eventpairs import classify_pair
 from repro.core.events import Event
 from repro.core.notation import canonical_code
 from repro.core.temporal_graph import TemporalGraph
+from repro.engine import compile_plan
 
 Predicate = Callable[[TemporalGraph, Instance], bool]
 
@@ -263,6 +266,15 @@ class OnlineCensus:
         ]
         self._prefixes = _PrefixStore(min(bounds))
         self._graph = TemporalGraph((), backend=backend)
+        # The execution engine owns the extension-admission arithmetic:
+        # arrivals extend prefixes through the plan's kernel, exactly as
+        # the batch enumerator extends its frontier.  (The engine's own
+        # predicate stays None — the online predicate needs the offset
+        # translation in _count.)
+        self._plan = compile_plan(
+            n_events, constraints, None, self._graph.storage, max_nodes=max_nodes
+        )
+        self._bind_kernel()
         self._offset = 0  # global index of the retained graph's event 0
         self._now: float | None = None
         self._code_counts: Counter = Counter()
@@ -358,22 +370,17 @@ class OnlineCensus:
             if self._count((gidx,), (ev.edge,), t_a):
                 out.append((gidx,))
         else:
-            constraints = self._constraints
-            node_cap = self._node_cap
             u, v = ev.u, ev.v
             completions: list[tuple[Instance, tuple, float]] = []
-            for prefix in self._prefixes.candidates(u, v, t_a):
-                # Exact admission, same arithmetic as the batch
-                # enumerator: strictly later than the prefix's last
-                # event, at or before its chained deadline.
-                if t_a <= prefix.t_last:
-                    continue
-                if t_a > constraints.next_event_deadline(prefix.t_root, prefix.t_last):
-                    continue
-                nodes = prefix.nodes
-                extra = (u not in nodes) + (v not in nodes)
-                if extra and len(nodes) + extra > node_cap:
-                    continue
+            candidates = self._prefixes.candidates(u, v, t_a)
+            # The engine kernel's event-major admission: strictly later
+            # than the prefix's last event, at or before its chained
+            # deadline, within the node cap — the exact arithmetic the
+            # batch enumerator runs, in its only implementation.
+            for pos, _idx, new_nodes in self._kernel.extend_frontier(
+                candidates, local, local + 1
+            ):
+                prefix = candidates[pos]
                 if prefix.t_root < horizon:
                     # Anchored before the window: the horizon only moves
                     # forward, so nothing grown from this prefix can ever
@@ -384,9 +391,6 @@ class OnlineCensus:
                 if len(seq) == k:
                     completions.append((seq, edges, prefix.t_root))
                 else:
-                    new_nodes = nodes if not extra else nodes + tuple(
-                        n for n in (u, v) if n not in nodes
-                    )
                     self._prefixes.add(
                         _Prefix(seq, edges, new_nodes, prefix.t_root, t_a)
                     )
@@ -508,8 +512,17 @@ class OnlineCensus:
             return 0
         rebuilt = type(storage).from_events(kept, presorted=True)
         self._graph = TemporalGraph._from_storage(rebuilt, name=self._graph.name)
+        self._bind_kernel()
         self._offset += dropped
         return dropped
+
+    def _bind_kernel(self) -> None:
+        """(Re)bind the plan's extension kernel to the current live graph.
+
+        Called whenever the retained storage object changes: engine
+        construction, :meth:`prune` rebases, checkpoint restores.
+        """
+        self._kernel = self._plan.bind(self._graph.storage)
 
     # ------------------------------------------------------------------
     # checkpoints (numpy page persistence; see repro.online.checkpoint)

@@ -142,6 +142,7 @@ def load_checkpoint(
             storage_cls.from_events(loaded.to_events(), presorted=True),
             name=loaded.name,
         )
+    census._bind_kernel()
     census._offset = state["offset"]
     census._now = state["now"]
     census._pushed = state["pushed"]

@@ -20,6 +20,7 @@ memory for unconditional correctness.
 
 from __future__ import annotations
 
+import bisect
 import math
 from collections import Counter
 from dataclasses import dataclass, field
@@ -27,6 +28,8 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.core.constraints import TimingConstraints
 from repro.core.temporal_graph import TemporalGraph
+from repro.engine import ExecutionPlan, compile_plan
+from repro.engine import is_shard_safe as is_shard_safe  # re-export (one copy)
 from repro.parallel.executor import get_executor, resolve_jobs
 from repro.parallel.merge import merge_censuses, merge_counts, merge_instances
 from repro.parallel.shards import Shard, plan_root_shards, plan_shards, shard_graph
@@ -43,15 +46,12 @@ def mark_shard_safe(predicate: Predicate) -> Predicate:
     """Declare that a predicate only consults the instance's time window.
 
     Shard-safe predicates answer identically on a time shard and on the
-    full graph, so the engine may use the cheaper time-sharded plan.
+    full graph, so the engine may use the cheaper time-sharded plan
+    (:func:`repro.engine.is_shard_safe` reads the mark at plan-compile
+    time).
     """
     predicate.shard_safe = True  # type: ignore[attr-defined]
     return predicate
-
-
-def is_shard_safe(predicate: Predicate | None) -> bool:
-    """Whether time shards are admissible for this predicate."""
-    return predicate is None or bool(getattr(predicate, "shard_safe", False))
 
 
 @dataclass(frozen=True)
@@ -63,7 +63,12 @@ class _ShardTask:
     the shard's event range — an event tuple on the generic path, column
     array slices on array-backed engines — and the worker rebuilds its
     subgraph through ``from_shard_payload`` on the same backend class,
-    skipping the per-event boxing round-trip.
+    skipping the per-event boxing round-trip.  ``plan`` is the parent's
+    compiled :class:`~repro.engine.plan.ExecutionPlan`: workers bind it
+    to the shard storage instead of re-deriving deadlines, node caps and
+    kernel capability per shard.  ``local_roots`` overrides the shard's
+    owned anchor range when the caller restricted the search to explicit
+    roots (the sampling estimators).
     """
 
     kind: str
@@ -75,6 +80,8 @@ class _ShardTask:
     constraints: TimingConstraints
     max_nodes: int | None
     predicate: Predicate | None
+    plan: ExecutionPlan | None = None
+    local_roots: Sequence[int] | None = None
     options: dict = field(default_factory=dict)
 
 
@@ -85,10 +92,12 @@ def _run_shard(task: _ShardTask):
 
     storage = get_backend(task.backend).from_shard_payload(task.payload)
     graph = TemporalGraph._from_storage(storage, name=task.name)
+    roots = task.local_roots if task.local_roots is not None else task.shard.local_roots
     common: dict[str, Any] = {
         "max_nodes": task.max_nodes,
         "predicate": task.predicate,
-        "roots": task.shard.local_roots,
+        "roots": roots,
+        "plan": task.plan,
         "jobs": 1,  # never nest pools inside a worker
     }
     if task.kind == "census":
@@ -142,12 +151,26 @@ def _execute(
     jobs: int | None,
     max_nodes: int | None,
     predicate: Predicate | None,
+    roots: Sequence[int] | None = None,
+    plan: ExecutionPlan | None = None,
     options: dict | None = None,
 ) -> tuple[list[Shard], list]:
     n_jobs = resolve_jobs(jobs)
-    delta = constraints.loose_timespan_bound(n_events)
-    if is_shard_safe(predicate) and math.isfinite(delta):
-        shards = plan_shards(graph, delta, n_jobs)
+    if roots is not None and any(a > b for a, b in zip(roots, roots[1:])):
+        raise ValueError(
+            "sharded enumeration requires non-decreasing roots (anchors "
+            "partition by shard order); sort them or run serially"
+        )
+    # One compiled plan for the whole run: deadlines, node cap, shard
+    # safety and kernel capability resolve here, then ship to workers.
+    # A caller-supplied plan (forced kernels, precompiled reuse) is
+    # shipped as-is instead of recompiled.
+    if plan is None:
+        plan = compile_plan(
+            n_events, constraints, predicate, graph.storage, max_nodes=max_nodes
+        )
+    if plan.shard_safe and math.isfinite(plan.delta):
+        shards = plan_shards(graph, plan.delta, n_jobs)
     else:
         shards = plan_root_shards(graph, n_jobs)
     storage = graph.storage
@@ -162,11 +185,28 @@ def _execute(
             constraints=constraints,
             max_nodes=max_nodes,
             predicate=predicate,
+            plan=plan,
+            local_roots=_owned_roots(shard, roots),
             options=options or {},
         )
         for shard in shards
     ]
     return shards, get_executor(n_jobs).map(_run_shard, tasks)
+
+
+def _owned_roots(shard: Shard, roots: Sequence[int] | None) -> list[int] | None:
+    """Shard-local indices of the explicitly requested roots it owns.
+
+    ``roots`` must be non-decreasing (the counting entry points only
+    route sorted roots here), so each shard's slice is one bisection and
+    the shard-order concatenation reproduces the serial root order.
+    """
+    if roots is None:
+        return None
+    lo = bisect.bisect_left(roots, shard.root_lo)
+    hi = bisect.bisect_left(roots, shard.root_hi)
+    ev_lo = shard.ev_lo
+    return [r - ev_lo for r in roots[lo:hi]]
 
 
 def parallel_count_motifs(
@@ -178,8 +218,16 @@ def parallel_count_motifs(
     max_nodes: int | None = None,
     node_counts: Iterable[int] | None = None,
     predicate: Predicate | None = None,
+    roots: Sequence[int] | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> Counter:
-    """Sharded :func:`repro.algorithms.counting.count_motifs`."""
+    """Sharded :func:`repro.algorithms.counting.count_motifs`.
+
+    ``roots`` (non-decreasing event indices) restricts the count to
+    instances anchored there — each shard enumerates only the owned
+    roots it is handed, so a sampled census shards exactly like a full
+    one.
+    """
     options = {"node_counts": set(node_counts) if node_counts is not None else None}
     _shards, results = _execute(
         "counts",
@@ -189,6 +237,8 @@ def parallel_count_motifs(
         jobs=jobs,
         max_nodes=max_nodes,
         predicate=predicate,
+        roots=roots,
+        plan=plan,
         options=options,
     )
     return merge_counts(results)
@@ -202,6 +252,8 @@ def parallel_count_event_pairs(
     jobs: int | None = None,
     max_nodes: int | None = None,
     predicate: Predicate | None = None,
+    roots: Sequence[int] | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> Counter:
     """Sharded :func:`repro.algorithms.counting.count_event_pairs`."""
     _shards, results = _execute(
@@ -212,6 +264,8 @@ def parallel_count_event_pairs(
         jobs=jobs,
         max_nodes=max_nodes,
         predicate=predicate,
+        roots=roots,
+        plan=plan,
     )
     return merge_counts(results)
 
@@ -224,6 +278,8 @@ def parallel_total_instances(
     jobs: int | None = None,
     max_nodes: int | None = None,
     predicate: Predicate | None = None,
+    roots: Sequence[int] | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> int:
     """Sharded :func:`repro.algorithms.counting.total_instances`."""
     _shards, results = _execute(
@@ -234,6 +290,8 @@ def parallel_total_instances(
         jobs=jobs,
         max_nodes=max_nodes,
         predicate=predicate,
+        roots=roots,
+        plan=plan,
     )
     return sum(results)
 
@@ -251,6 +309,8 @@ def parallel_run_census(
     timespan_codes: Sequence[str] | None = None,
     position_codes: Sequence[str] | None = None,
     sample_cap: int,
+    roots: Sequence[int] | None = None,
+    plan: ExecutionPlan | None = None,
 ):
     """Sharded :func:`repro.algorithms.counting.run_census`.
 
@@ -273,6 +333,8 @@ def parallel_run_census(
         jobs=jobs,
         max_nodes=max_nodes,
         predicate=predicate,
+        roots=roots,
+        plan=plan,
         options=options,
     )
     return merge_censuses(results, sample_cap=sample_cap)
@@ -286,6 +348,7 @@ def parallel_enumerate(
     jobs: int | None = None,
     max_nodes: int | None = None,
     predicate: Predicate | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> list[Instance]:
     """Sharded instance enumeration, in the exact serial yield order.
 
@@ -300,6 +363,7 @@ def parallel_enumerate(
         jobs=jobs,
         max_nodes=max_nodes,
         predicate=predicate,
+        plan=plan,
     )
     return merge_instances(shards, results)
 

@@ -10,21 +10,18 @@ prefix a single capped pass would have kept.
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Iterable, Sequence
+from typing import Sequence
 
-from repro.algorithms.counting import MotifCensus
+from repro.algorithms.counting import MotifCensus, merge_counters
 from repro.parallel.shards import Shard
 
 Instance = tuple[int, ...]
 
-
-def merge_counts(counters: Iterable[Counter]) -> Counter:
-    """Sum counters, preserving first-appearance key order across shards."""
-    merged: Counter = Counter()
-    for counter in counters:
-        merged.update(counter)
-    return merged
+#: Sum counters, preserving first-appearance key order across shards.
+#: One implementation serves both the chunked and the sharded reducers:
+#: this is :func:`repro.algorithms.counting.merge_counters`, re-exported
+#: under the name the parallel engine has always used.
+merge_counts = merge_counters
 
 
 def merge_instances(

@@ -46,6 +46,17 @@ class GraphStorage(ABC):
     #: Registry key of the backend (``"list"``, ``"columnar"``, ...).
     backend_name: ClassVar[str] = ""
 
+    #: Extension-kernel capability this backend advertises to the
+    #: execution engine (:func:`repro.engine.compile_plan`): the name of
+    #: a :class:`repro.engine.kernels.ExtensionKernel` able to run the
+    #: frontier-extension primitive natively over this backend's layout.
+    #: ``"generic"`` — per-node bisection through
+    #: :meth:`adjacent_events_between` — is always correct; array
+    #: backends override it (the numpy backend advertises ``"numpy"``).
+    #: Unknown names demote to generic at plan-compile time, so a
+    #: backend may advertise a kernel that only some builds provide.
+    extension_kernel: ClassVar[str] = "generic"
+
     # ------------------------------------------------------------------
     # construction / conversion
     # ------------------------------------------------------------------

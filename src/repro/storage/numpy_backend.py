@@ -80,6 +80,11 @@ class NumpyStorage(GraphStorage):
 
     backend_name = "numpy"
 
+    #: Native frontier-extension kernel for the execution engine
+    #: (:class:`repro.engine.kernels.NumpyExtensionKernel`), fed by
+    #: :meth:`extension_arrays`.
+    extension_kernel = "numpy"
+
     #: Tail appends tolerated before the columns are rebuilt in one pass.
     compact_threshold = 4096
 
@@ -634,6 +639,30 @@ class NumpyStorage(GraphStorage):
         )
         counts[~known] = 0
         return counts.tolist()
+
+    def extension_arrays(self) -> dict[str, Any] | None:
+        """Kernel hook: the flat arrays the vectorized extension kernel probes.
+
+        Returns the timestamp/endpoint columns plus the node CSR in its
+        banded form (``idx + slot*m``, globally sorted — the same
+        machinery as :meth:`count_node_events_in_batch`), with ``keys``
+        the ascending node ids whose position equals the CSR slot.
+        Returns ``None`` while tail appends are pending: the tail lists
+        are not banded, so the engine's generic per-node path (which
+        reads the tail through :meth:`node_events_between`) is the exact
+        one.
+        """
+        if self._tail:
+            return None
+        return {
+            "t": self._t,
+            "u": self._u,
+            "v": self._v,
+            "keys": self._node_keys(),
+            "banded": self._node_banded_index(),
+            "idx": self._node_index()[2],
+            "m": self._m,
+        }
 
     def adjacent_events_between(
         self, nodes: Sequence[int], t_lo: float, t_hi: float

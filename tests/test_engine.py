@@ -1,0 +1,537 @@
+"""The unified execution engine: plans, kernels, drivers, parity.
+
+Three layers of guarantees:
+
+* **plan units** — :func:`repro.engine.compile_plan` resolves node caps,
+  shard safety, deadline arithmetic and kernel capability exactly once,
+  caches hashable configurations, and pickles (the parallel engine ships
+  plans to shard workers);
+* **kernel differential** — a Hypothesis suite asserting
+  ``extend_frontier`` parity between the generic and the vectorized
+  NumPy kernel, across every registered storage backend and between the
+  partial-major and event-major traversals;
+* **consumer bit-identity** — ``run_census`` (per backend, forced
+  kernels, precompiled plans) and ``OnlineCensus`` (push-by-push against
+  the batch window, through snapshot/restore) produce identical output,
+  key order included — the refactor-parity contract of the engine PR.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+from collections import Counter
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.counting import run_census
+from repro.algorithms.enumeration import enumerate_instances, is_instance
+from repro.algorithms.restrictions import satisfies_consecutive_events
+from repro.core.constraints import TimingConstraints
+from repro.core.events import Event
+from repro.core.temporal_graph import TemporalGraph
+from repro.engine import (
+    ExecutionPlan,
+    GenericExtensionKernel,
+    Partial,
+    clear_plan_cache,
+    compile_plan,
+    has_kernel,
+    is_shard_safe,
+    run_plan,
+)
+from repro.online import OnlineCensus
+from repro.storage import available_backends, get_backend
+
+BACKENDS = tuple(b for b in ("list", "columnar", "numpy") if b in available_backends())
+
+requires_numpy_backend = pytest.mark.skipif(
+    "numpy" not in BACKENDS, reason="the numpy storage backend is not registered"
+)
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+def event_lists(max_nodes=5, max_events=18):
+    """Tie- and burst-heavy sorted event lists (the admission corners)."""
+    step = st.tuples(
+        st.integers(0, max_nodes - 1),
+        st.integers(0, max_nodes - 1),
+        st.sampled_from([0.0, 0.0, 0.5, 1.0, 2.0, 5.0]),
+    ).filter(lambda e: e[0] != e[1])
+
+    def build(steps):
+        t = 0.0
+        events = []
+        for u, v, dt in steps:
+            t += dt
+            events.append(Event(u, v, t))
+        events.sort(key=lambda e: (e.t, e.u, e.v))
+        return events
+
+    return st.lists(step, min_size=1, max_size=max_events).map(build)
+
+
+configs = st.tuples(
+    st.sampled_from([2, 3, 3, 4]),          # n_events
+    st.sampled_from([2.0, 4.0, None]),      # delta_c
+    st.sampled_from([6.0, 12.0, None]),     # delta_w
+    st.sampled_from([None, 3]),             # max_nodes
+)
+
+
+def _constraints(delta_c, delta_w) -> TimingConstraints:
+    if delta_c is None and delta_w is None:
+        return TimingConstraints(delta_w=8.0)
+    return TimingConstraints(delta_c=delta_c, delta_w=delta_w)
+
+
+def _prefix_partials(graph: TemporalGraph, j: int, constraints, max_nodes):
+    """Every live ``j``-event partial of ``graph``, as engine Partials."""
+    event_at = graph.storage.event_at
+    out = []
+    for inst in enumerate_instances(graph, j, constraints, max_nodes=max_nodes):
+        nodes: tuple[int, ...] = ()
+        for idx in inst:
+            ev = event_at(idx)
+            for n in (ev.u, ev.v):
+                if n not in nodes:
+                    nodes = nodes + (n,)
+        out.append(
+            Partial(inst, nodes, event_at(inst[0]).t, event_at(inst[-1]).t)
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# plan compilation units
+# ----------------------------------------------------------------------
+class TestCompilePlan:
+    def test_node_cap_defaults_to_connected_growth_bound(self):
+        plan = compile_plan(3, TimingConstraints.only_w(10.0))
+        assert plan.node_cap == 4
+        capped = compile_plan(3, TimingConstraints.only_w(10.0), max_nodes=3)
+        assert capped.node_cap == 3
+
+    def test_rejects_empty_motifs(self):
+        with pytest.raises(ValueError):
+            compile_plan(0, TimingConstraints.only_w(10.0))
+
+    def test_deadline_matches_constraints_arithmetic(self):
+        for delta_c, delta_w in ((2.0, None), (None, 7.5), (1.5, 4.0), (None, None)):
+            constraints = TimingConstraints(delta_c=delta_c, delta_w=delta_w)
+            plan = compile_plan(3, constraints)
+            for t_root, t_last in ((0.0, 0.0), (1.0, 3.5), (2.25, 2.25), (0.1, 7.3)):
+                assert plan.deadline(t_root, t_last) == (
+                    constraints.next_event_deadline(t_root, t_last)
+                )
+
+    def test_infinite_bounds_resolved(self):
+        plan = compile_plan(3, TimingConstraints.only_c(2.0))
+        assert plan.delta_c == 2.0
+        assert math.isinf(plan.delta_w)
+        assert plan.delta == 4.0  # (m-1) * delta_c
+
+    def test_shard_safety_resolution(self):
+        constraints = TimingConstraints.only_w(10.0)
+        assert compile_plan(3, constraints).shard_safe
+        assert compile_plan(3, constraints, satisfies_consecutive_events).shard_safe
+
+        def opaque(graph, inst):  # pragma: no cover - never called
+            return True
+
+        assert not compile_plan(3, constraints, opaque).shard_safe
+        assert is_shard_safe(None)
+        assert not is_shard_safe(opaque)
+
+    def test_kernel_capability_follows_backend(self):
+        constraints = TimingConstraints.only_w(10.0)
+        for backend in BACKENDS:
+            storage = get_backend(backend).from_events(
+                [Event(0, 1, 1.0)], presorted=True
+            )
+            plan = compile_plan(3, constraints, None, storage)
+            expected = "numpy" if backend == "numpy" else "generic"
+            assert plan.kernel_name == expected
+            kernel = plan.bind(storage)
+            assert kernel.kernel_name == expected
+
+    def test_unknown_advertised_kernel_demotes_to_generic(self):
+        class Weird:
+            extension_kernel = "definitely-not-a-kernel"
+
+        plan = compile_plan(3, TimingConstraints.only_w(10.0), None, Weird())
+        assert plan.kernel_name == "generic"
+        assert not has_kernel("definitely-not-a-kernel")
+
+    def test_explicit_kernel_override(self):
+        storage = get_backend(BACKENDS[0]).from_events(
+            [Event(0, 1, 1.0)], presorted=True
+        )
+        plan = compile_plan(
+            3, TimingConstraints.only_w(10.0), None, storage, kernel="generic"
+        )
+        assert plan.kernel_name == "generic"
+        assert isinstance(plan.bind(storage), GenericExtensionKernel)
+
+    def test_session_cache_reuses_plans(self):
+        clear_plan_cache()
+        constraints = TimingConstraints(delta_c=3.0, delta_w=9.0)
+        first = compile_plan(3, constraints, satisfies_consecutive_events)
+        second = compile_plan(3, constraints, satisfies_consecutive_events)
+        assert first is second
+        different = compile_plan(
+            3, constraints, satisfies_consecutive_events, max_nodes=3
+        )
+        assert different is not first
+
+    def test_unhashable_restriction_still_compiles(self):
+        import functools
+
+        unhashable = functools.partial(lambda bad, g, i: True, [1, 2])
+        plan = compile_plan(3, TimingConstraints.only_w(10.0), unhashable)
+        assert plan.predicate is unhashable
+
+    def test_plan_pickles_for_shard_workers(self):
+        plan = compile_plan(
+            3,
+            TimingConstraints(delta_c=2.0, delta_w=6.0),
+            satisfies_consecutive_events,
+            max_nodes=3,
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert isinstance(clone, ExecutionPlan)
+        assert clone.node_cap == plan.node_cap
+        assert clone.kernel_name == plan.kernel_name
+        assert clone.deadline(1.0, 2.0) == plan.deadline(1.0, 2.0)
+        assert clone.predicate is satisfies_consecutive_events
+
+
+# ----------------------------------------------------------------------
+# kernel differential: generic vs numpy, partial-major vs event-major
+# ----------------------------------------------------------------------
+class TestKernelParity:
+    @settings(max_examples=60, deadline=None)
+    @given(event_lists(), configs, st.integers(1, 3))
+    def test_generic_kernel_agrees_across_backends(self, events, config, j):
+        n_events, delta_c, delta_w, max_nodes = config
+        if j >= n_events:
+            j = n_events - 1 or 1
+        constraints = _constraints(delta_c, delta_w)
+        reference = None
+        for backend in BACKENDS:
+            graph = TemporalGraph(events, backend=backend)
+            plan = compile_plan(
+                n_events,
+                constraints,
+                None,
+                graph.storage,
+                max_nodes=max_nodes,
+                kernel="generic",
+            )
+            partials = _prefix_partials(graph, j, constraints, max_nodes)
+            kernel = plan.bind(graph.storage)
+            result = kernel.extend_frontier(partials, 0, len(graph))
+            if reference is None:
+                reference = result
+            else:
+                assert result == reference
+
+    @requires_numpy_backend
+    @settings(max_examples=60, deadline=None)
+    @given(event_lists(), configs, st.integers(1, 3))
+    def test_numpy_kernel_matches_generic(self, events, config, j):
+        n_events, delta_c, delta_w, max_nodes = config
+        if j >= n_events:
+            j = n_events - 1 or 1
+        constraints = _constraints(delta_c, delta_w)
+        graph = TemporalGraph(events, backend="numpy")
+        partials = _prefix_partials(graph, j, constraints, max_nodes)
+        generic = compile_plan(
+            n_events,
+            constraints,
+            None,
+            graph.storage,
+            max_nodes=max_nodes,
+            kernel="generic",
+        ).bind(graph.storage)
+        vectorized = compile_plan(
+            n_events, constraints, None, graph.storage, max_nodes=max_nodes
+        ).bind(graph.storage)
+        assert vectorized.kernel_name == "numpy"
+        m = len(graph)
+        assert vectorized.extend_frontier(partials, 0, m) == (
+            generic.extend_frontier(partials, 0, m)
+        )
+        # need_nodes=False drops only the node tuples, nothing else.
+        lean = vectorized.extend_frontier(partials, 0, m, need_nodes=False)
+        assert [(p, i) for p, i, _ in lean] == [
+            (p, i) for p, i, _ in generic.extend_frontier(partials, 0, m)
+        ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(event_lists(max_events=12), configs)
+    def test_event_major_agrees_with_partial_major(self, events, config):
+        n_events, delta_c, delta_w, max_nodes = config
+        if n_events < 2:
+            n_events = 2
+        constraints = _constraints(delta_c, delta_w)
+        graph = TemporalGraph(events)
+        plan = compile_plan(
+            n_events, constraints, None, graph.storage, max_nodes=max_nodes
+        )
+        partials = _prefix_partials(graph, 1, constraints, max_nodes)
+        kernel = plan.bind(graph.storage)
+        m = len(graph)
+        whole = kernel.extend_frontier(partials, 0, m)
+        # One event at a time (the online push shape): same pairs, same
+        # node tuples, grouped by event instead of by partial.
+        stitched = [
+            triple
+            for idx in range(m)
+            for triple in kernel.extend_frontier(partials, idx, idx + 1)
+        ]
+        assert sorted(stitched) == sorted(whole)
+
+    @requires_numpy_backend
+    @pytest.mark.parametrize("max_nodes", [1, 2])
+    @pytest.mark.parametrize("n_events", [2, 3])
+    def test_numpy_kernel_survives_degenerate_node_caps(self, n_events, max_nodes):
+        # A root always carries two nodes, so max_nodes=1 partials exceed
+        # the cap from the start; the scalar rule still admits extensions
+        # that introduce no node, and the vectorized pad must be sized by
+        # the partials, not the cap.
+        from repro.algorithms.counting import count_motifs
+
+        events = [(0, 1, 1.0), (1, 0, 2.0), (0, 1, 2.5), (1, 2, 3.0), (0, 1, 4.0)]
+        constraints = TimingConstraints.only_w(10.0)
+        reference = count_motifs(
+            TemporalGraph(events, backend="list"),
+            n_events,
+            constraints,
+            max_nodes=max_nodes,
+        )
+        vectorized = count_motifs(
+            TemporalGraph(events, backend="numpy"),
+            n_events,
+            constraints,
+            max_nodes=max_nodes,
+        )
+        assert vectorized == reference
+        assert list(vectorized) == list(reference)
+
+    @requires_numpy_backend
+    def test_numpy_kernel_falls_back_while_tail_pending(self):
+        graph = TemporalGraph([(0, 1, 1.0), (1, 2, 2.0)], backend="numpy")
+        graph.append(Event(0, 2, 3.0))  # lands in the un-banded tail
+        constraints = TimingConstraints.only_w(10.0)
+        plan = compile_plan(3, constraints, None, graph.storage)
+        partials = _prefix_partials(graph, 1, constraints, None)
+        kernel = plan.bind(graph.storage)
+        generic = compile_plan(
+            3, constraints, None, graph.storage, kernel="generic"
+        ).bind(graph.storage)
+        m = len(graph)
+        assert kernel.extend_frontier(partials, 0, m) == (
+            generic.extend_frontier(partials, 0, m)
+        )
+
+
+# ----------------------------------------------------------------------
+# consumer bit-identity
+# ----------------------------------------------------------------------
+def _census_key(census):
+    """Everything bit-identity covers: values *and* counter key order."""
+    return (
+        dict(census.code_counts),
+        list(census.code_counts),
+        dict(census.pair_counts),
+        list(census.pair_counts),
+        dict(census.pair_sequence_counts),
+        list(census.pair_sequence_counts),
+        census.total,
+    )
+
+
+class TestConsumerParity:
+    @settings(max_examples=50, deadline=None)
+    @given(event_lists(), configs)
+    def test_run_census_identical_across_backends_and_kernels(self, events, config):
+        n_events, delta_c, delta_w, max_nodes = config
+        constraints = _constraints(delta_c, delta_w)
+        reference = None
+        for backend in BACKENDS:
+            graph = TemporalGraph(events, backend=backend)
+            census = run_census(graph, n_events, constraints, max_nodes=max_nodes)
+            forced = run_census(
+                graph,
+                n_events,
+                constraints,
+                max_nodes=max_nodes,
+                plan=compile_plan(
+                    n_events,
+                    constraints,
+                    None,
+                    graph.storage,
+                    max_nodes=max_nodes,
+                    kernel="generic",
+                ),
+            )
+            assert _census_key(forced) == _census_key(census)
+            if reference is None:
+                reference = _census_key(census)
+            else:
+                assert _census_key(census) == reference
+
+    @settings(max_examples=40, deadline=None)
+    @given(event_lists(max_events=10), configs)
+    def test_enumeration_matches_brute_force_oracle(self, events, config):
+        n_events, delta_c, delta_w, max_nodes = config
+        constraints = _constraints(delta_c, delta_w)
+        graph = TemporalGraph(events)
+        expected = [
+            inst
+            for inst in combinations(range(len(graph)), n_events)
+            if is_instance(graph, inst, constraints, max_nodes=max_nodes)
+        ]
+        found = list(
+            enumerate_instances(graph, n_events, constraints, max_nodes=max_nodes)
+        )
+        assert sorted(found) == expected
+        assert len(set(found)) == len(found)
+
+    def test_run_plan_respects_roots_and_max_instances(self):
+        graph = TemporalGraph(
+            [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (2, 3, 4.0), (3, 0, 5.0)]
+        )
+        constraints = TimingConstraints.only_w(10.0)
+        plan = compile_plan(2, constraints, None, graph.storage)
+        everything = list(run_plan(plan, graph))
+        rooted = list(run_plan(plan, graph, roots=[1, 3]))
+        assert rooted == [inst for inst in everything if inst[0] in (1, 3)]
+        capped = list(run_plan(plan, graph, max_instances=3))
+        assert capped == everything[:3]
+
+    def test_explicit_plan_survives_the_parallel_path(self, monkeypatch):
+        # A caller-supplied plan (forced kernel, precompiled reuse) must
+        # ship to shard workers, not be silently recompiled away when
+        # jobs resolve > 1 via argument, session default or REPRO_JOBS.
+        import repro.parallel.engine as parallel_engine
+
+        events = [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (2, 3, 4.0), (1, 3, 5.0)]
+        constraints = TimingConstraints(delta_c=2.0, delta_w=6.0)
+        graph = TemporalGraph(events)
+        forced = compile_plan(
+            3, constraints, None, graph.storage, max_nodes=3, kernel="generic"
+        )
+        serial = run_census(graph, 3, constraints, max_nodes=3, plan=forced)
+
+        def no_recompile(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("parallel path recompiled a caller-supplied plan")
+
+        monkeypatch.setattr(parallel_engine, "compile_plan", no_recompile)
+        sharded = run_census(graph, 3, constraints, max_nodes=3, plan=forced, jobs=2)
+        assert _census_key(sharded) == _census_key(serial)
+
+    def test_explicit_plan_survives_parallel_enumeration(self):
+        # The jobs>1 branch of enumerate_instances must honor the plan's
+        # own predicate/node cap rather than the bare arguments.
+        events = [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (2, 3, 4.0), (1, 3, 5.0)]
+        constraints = TimingConstraints(delta_c=2.0, delta_w=6.0)
+        graph = TemporalGraph(events)
+        plan = compile_plan(
+            3, constraints, satisfies_consecutive_events, graph.storage, max_nodes=3
+        )
+        serial = list(enumerate_instances(graph, 3, constraints, plan=plan))
+        sharded = list(enumerate_instances(graph, 3, constraints, plan=plan, jobs=2))
+        assert sharded == serial
+
+    def test_parallel_api_rejects_unsorted_roots(self):
+        from repro.parallel import parallel_count_motifs
+
+        graph = TemporalGraph([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)])
+        constraints = TimingConstraints.only_w(10.0)
+        with pytest.raises(ValueError, match="non-decreasing roots"):
+            parallel_count_motifs(graph, 2, constraints, roots=[2, 0], jobs=2)
+
+    def test_precompiled_plan_reused_across_graphs(self):
+        constraints = TimingConstraints(delta_c=2.0, delta_w=6.0)
+        plan = compile_plan(3, constraints, max_nodes=3)
+        for events in (
+            [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)],
+            [(3, 4, 0.0), (4, 5, 1.0), (3, 5, 1.5), (5, 3, 2.0)],
+        ):
+            graph = TemporalGraph(events)
+            assert _census_key(
+                run_census(graph, 3, constraints, max_nodes=3, plan=plan)
+            ) == _census_key(run_census(graph, 3, constraints, max_nodes=3))
+
+    @settings(max_examples=30, deadline=None)
+    @given(event_lists(max_events=16), configs, st.sampled_from([3.0, 7.0, 15.0]))
+    def test_online_census_matches_batch_window_after_every_push(
+        self, events, config, window
+    ):
+        n_events, delta_c, delta_w, max_nodes = config
+        constraints = _constraints(delta_c, delta_w)
+        engine = OnlineCensus(
+            n_events, constraints, window, max_nodes=max_nodes, prune_every=5
+        )
+        for count, event in enumerate(events, start=1):
+            engine.push(event)
+            window_graph = TemporalGraph(
+                [e for e in events[:count] if e.t >= event.t - window]
+            )
+            batch = run_census(
+                window_graph, n_events, constraints, max_nodes=max_nodes
+            )
+            assert engine.counts() == batch.code_counts
+            assert engine.live_instances == batch.total
+
+    def test_online_restore_regrows_through_engine(self, tmp_path):
+        pytest.importorskip("numpy")
+        constraints = TimingConstraints(delta_c=2.0, delta_w=6.0)
+        events = [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (2, 3, 3.0)]
+        events += [(3, 0, 4.5), (1, 3, 5.0), (0, 1, 6.0), (2, 0, 6.0)]
+        twin = OnlineCensus(3, constraints, 5.0, max_nodes=3)
+        engine = OnlineCensus(3, constraints, 5.0, max_nodes=3)
+        for event in events[:5]:
+            engine.push(event)
+            twin.push(event)
+        engine.snapshot(tmp_path / "ckpt")
+        resumed = OnlineCensus.restore(tmp_path / "ckpt")
+        for event in events[5:]:
+            assert resumed.push(event) == twin.push(event)
+        assert resumed.counts() == twin.counts()
+        assert resumed.census().pair_sequence_counts == (
+            twin.census().pair_sequence_counts
+        )
+
+
+# ----------------------------------------------------------------------
+# counter-merge dedup (satellite): one implementation, pinned key order
+# ----------------------------------------------------------------------
+class TestMergeDedup:
+    def test_merge_counts_is_merge_counters(self):
+        from repro.algorithms.counting import merge_counters
+        from repro.parallel import merge_counts
+        from repro.parallel.merge import merge_counts as merge_counts_module
+
+        assert merge_counts is merge_counters
+        assert merge_counts_module is merge_counters
+
+    def test_merge_preserves_first_appearance_key_order(self):
+        from repro.algorithms.counting import merge_counters
+
+        merged = merge_counters(
+            [
+                Counter({"0110": 2, "0101": 1}),
+                Counter({"0102": 4, "0110": 1}),
+                Counter({"0101": 5, "0121": 1}),
+            ]
+        )
+        assert list(merged) == ["0110", "0101", "0102", "0121"]
+        assert merged == Counter({"0110": 3, "0101": 6, "0102": 4, "0121": 1})

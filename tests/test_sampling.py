@@ -117,6 +117,38 @@ class TestWindowSampling:
         assert estimate == {}
 
 
+class TestParallelSampling:
+    """The estimators route through the parallel engine (``jobs=``)."""
+
+    def test_root_sampling_jobs_parity(self, small_sms):
+        constraints = TimingConstraints(delta_c=300, delta_w=600)
+        serial = estimate_counts_root_sampling(
+            small_sms, 3, constraints, q=0.4, max_nodes=3,
+            rng=np.random.default_rng(11), jobs=1
+        )
+        sharded = estimate_counts_root_sampling(
+            small_sms, 3, constraints, q=0.4, max_nodes=3,
+            rng=np.random.default_rng(11), jobs=4
+        )
+        # Bit-identical, key order included: sampled roots are ascending,
+        # so shards partition them exactly like the full search.
+        assert sharded == serial
+        assert list(sharded) == list(serial)
+
+    def test_window_sampling_jobs_parity(self, small_sms):
+        constraints = TimingConstraints(delta_c=300, delta_w=600)
+        serial = estimate_counts_window_sampling(
+            small_sms, 3, constraints, window=1800, q=0.5, max_nodes=3,
+            rng=np.random.default_rng(13), jobs=1
+        )
+        sharded = estimate_counts_window_sampling(
+            small_sms, 3, constraints, window=1800, q=0.5, max_nodes=3,
+            rng=np.random.default_rng(13), jobs=4
+        )
+        assert sharded == serial
+        assert list(sharded) == list(serial)
+
+
 class TestRelativeError:
     def test_zero_for_identical(self):
         assert relative_error({"a": 10}, {"a": 10.0}) == 0.0
