@@ -46,6 +46,7 @@ from dataclasses import replace
 
 import pytest
 
+import repro.obs as obs
 from bench_storage import CONSTRAINTS, STREAM_CONFIG
 from repro.algorithms.counting import run_census
 from repro.core.temporal_graph import TemporalGraph
@@ -141,6 +142,44 @@ def compare(
     return out
 
 
+def instrumentation_overhead(
+    n_events: int = STREAM_CONFIG.n_events, *, rounds: int = 2
+) -> tuple[dict[str, dict[str, float]], dict]:
+    """Disabled-vs-enabled observability timings per backend, plus snapshot.
+
+    ``disabled`` is the null-recorder default every caller pays (its
+    acceptance gate is the unchanged ``census_engine`` baseline in
+    ``benchmarks/baselines/BENCH_engine.json``, held within 3% by CI);
+    ``enabled`` runs the same census with a live
+    :class:`repro.obs.MetricsRegistry`, and ``ratio`` is
+    ``enabled / disabled`` — the price of switching the recorder on.
+    The second return value is the merged registry snapshot across
+    backends (the BENCH JSON's ``obs_snapshot``).
+    """
+    events = generate(replace(STREAM_CONFIG, n_events=n_events), seed=42).events
+    prior = obs.ACTIVE
+    out: dict[str, dict[str, float]] = {}
+    snapshots = []
+    try:
+        for backend in BACKENDS:
+            graph = TemporalGraph(events, backend=backend)
+            _census(graph, None)  # warm the lazy indices out of the timings
+            obs.disable()
+            disabled_seconds, _ = _best_of(lambda: _census(graph, None), rounds)
+            registry = obs.enable(obs.MetricsRegistry())
+            enabled_seconds, _ = _best_of(lambda: _census(graph, None), rounds)
+            obs.disable()
+            snapshots.append(registry.snapshot())
+            out[backend] = {
+                "disabled": disabled_seconds,
+                "enabled": enabled_seconds,
+                "ratio": enabled_seconds / disabled_seconds,
+            }
+    finally:
+        obs.ACTIVE = prior
+    return out, obs.merge_snapshots(snapshots)
+
+
 def main(argv: list[str] | None = None) -> int:  # pragma: no cover - manual tool
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -174,6 +213,18 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - manual too
         "\nspeedup = generic-kernel census seconds / native-kernel census "
         "seconds (numpy target >= 2x at 100k events; generic backends ~1x)"
     )
+    overhead, snapshot = instrumentation_overhead(args.events, rounds=args.rounds)
+    print(f"\n{'backend':<10}{'obs off':>12}{'obs on':>12}{'overhead':>10}")
+    for backend, row in overhead.items():
+        print(
+            f"{backend:<10}{row['disabled']:>10.2f}s{row['enabled']:>10.2f}s"
+            f"{row['ratio']:>9.2f}x"
+        )
+    print(
+        "\noverhead = census seconds with a live repro.obs registry / with "
+        "the null recorder (the disabled path is gated separately: CI holds "
+        "census_engine within 3% of the committed baseline)"
+    )
     if args.json:
         payload = {
             "benchmark": "bench_engine",
@@ -189,6 +240,10 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - manual too
                 for backend, row in results.items()
                 for kernel in ("census_engine", "census_generic")
             ],
+            # Observability sidecar: not regression-gated rows — the
+            # disabled path is gated through census_engine itself.
+            "instrumentation": overhead,
+            "obs_snapshot": snapshot,
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)

@@ -38,6 +38,7 @@ from dataclasses import replace
 
 import pytest
 
+import repro.obs as obs
 from bench_storage import CONSTRAINTS, STREAM_CONFIG
 from repro.algorithms.counting import run_census
 from repro.core.temporal_graph import TemporalGraph
@@ -123,6 +124,19 @@ def compare(n_events: int = STREAM_CONFIG.n_events) -> dict[str, dict[str, float
     return out
 
 
+def _obs_snapshot(n_events: int) -> dict:
+    """Registry snapshot of one instrumented replay (first backend)."""
+    events = generate(replace(STREAM_CONFIG, n_events=n_events), seed=42).events
+    prior = obs.ACTIVE
+    registry = obs.MetricsRegistry()
+    obs.enable(registry)
+    try:
+        _replay(events, BACKENDS[0])
+    finally:
+        obs.ACTIVE = prior
+    return registry.snapshot()
+
+
 def main(argv: list[str] | None = None) -> int:  # pragma: no cover - manual tool
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -167,6 +181,10 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - manual too
                 for backend, row in results.items()
                 for kernel in ("online_replay", "batch_recount")
             ],
+            # Observability sidecar: one untimed instrumented replay on
+            # the first backend, so the record carries push-latency
+            # histograms and store/heap gauges next to the timings.
+            "obs_snapshot": _obs_snapshot(args.events),
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)

@@ -3,13 +3,15 @@
 An operations view built on the online engine: replay the Copenhagen SMS
 dataset as a live stream through :class:`repro.online.OnlineCensus` and,
 at a few checkpoints along the replay, print what a wall dashboard would
-show — throughput so far, the live instance ledger, and the rolling
-motif-mix bar chart for the trailing window.  The punchline: the mix is
-available after *every* event at a per-event cost, no batch recount.
+show — throughput so far, the live instance ledger, push-latency
+quantiles from the observability layer, and the rolling motif-mix bar
+chart for the trailing window.  The punchline: the mix is available
+after *every* event at a per-event cost, no batch recount.
 """
 
 import time
 
+import repro.obs as obs
 from repro.analysis import textplot
 from repro.core.constraints import TimingConstraints
 from repro.core.notation import describe_code
@@ -29,6 +31,9 @@ def main() -> None:
         f"W={WINDOW:g}s)\n"
     )
 
+    # Enable observability *before* building the engine — hot paths bind
+    # the recorder at construction time.
+    registry = obs.enable(obs.MetricsRegistry())
     engine = OnlineCensus(
         3, CONSTRAINTS, WINDOW, max_nodes=3, prune_every=4096
     )
@@ -49,6 +54,15 @@ def main() -> None:
                 f"({engine.discovered} discovered, {engine.expired} expired, "
                 f"{engine.live_prefixes} prefixes live)"
             )
+            push = registry.histograms.get("online.push.seconds")
+            if push is not None and push.count:
+                print(
+                    f"push latency so far: "
+                    f"p50={push.quantile(0.5) * 1e6:.0f}us "
+                    f"p99={push.quantile(0.99) * 1e6:.0f}us "
+                    f"max={push.vmax * 1e6:.0f}us "
+                    f"(heap depth {int(registry.gauges.get('online.expiry_heap.depth', 0))})"
+                )
             shares = sorted(
                 engine.proportions().items(), key=lambda kv: -kv[1]
             )[:6]
@@ -65,6 +79,10 @@ def main() -> None:
     print("final window, dominant motifs:")
     for code, n in top:
         print(f"  {code}  x{n:<5} {describe_code(code)}")
+
+    print()
+    print(obs.render_table(registry.snapshot()))
+    obs.disable()
 
 
 if __name__ == "__main__":

@@ -35,6 +35,12 @@ Package map:
   (:class:`~repro.online.OnlineCensus`): exact trailing-window motif
   counts maintained per arriving event through the execution engine's
   kernel, with page-directory checkpoints;
+* :mod:`repro.obs` — the observability layer: a process-local metrics
+  registry (counters, gauges, mergeable log2-bucket histograms, spans)
+  behind a null-recorder default (``repro.obs.enable()``, or the
+  ``REPRO_OBS`` environment variable); storage, engine, parallel,
+  online and streaming all record into it, and ``--stats`` on the
+  experiments CLI renders the per-layer snapshot;
 * :mod:`repro.datasets` — synthetic dataset generators, the named
   registry, and (gzip-aware, streaming) event-list I/O;
 * :mod:`repro.randomization` — shuffling null models;

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+import repro.obs as _obs
 from repro.algorithms.pattern import EventPattern
 from repro.core.events import Event
 from repro.core.temporal_graph import TemporalGraph
@@ -163,8 +164,12 @@ class StreamMatcher:
                     )
         self._partials.extend(new_partials)
         if self.max_partials is not None and len(self._partials) > self.max_partials:
-            self._shed += len(self._partials) - self.max_partials
+            dropped = len(self._partials) - self.max_partials
+            self._shed += dropped
             self._partials = self._partials[-self.max_partials:]
+            rec = _obs.ACTIVE
+            if rec is not None:
+                rec.inc("streaming.matcher.shed", dropped)
         self._emitted += len(out)
         return out
 

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Iterator
 
+import repro.obs as _obs
 from repro.engine.kernels import Partial
+from repro.obs import labeled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.temporal_graph import TemporalGraph
@@ -75,6 +77,18 @@ def run_plan(
     kernel = plan.bind(storage)
     times = storage.times
     event_at = storage.event_at
+    # Observability binds once per run: the labeled metric names are built
+    # here, never per block or per level, and ``stats is None`` is the
+    # entire disabled-path cost inside ``_expand_block``.
+    rec = _obs.ACTIVE
+    stats = None
+    if rec is not None:
+        stats = (
+            rec,
+            labeled("engine.frontier.partials", kernel=plan.kernel_name),
+            labeled("engine.frontier.extensions", kernel=plan.kernel_name),
+        )
+        rec.inc(labeled("engine.run_plan.calls", kernel=plan.kernel_name))
     block_cap = FIRST_BLOCK
     block: list[Partial] = []
     for root in root_iter:
@@ -82,9 +96,9 @@ def run_plan(
         block.append(Partial((root,), (ev.u, ev.v), ev.t, ev.t))
         if len(block) >= block_cap:
             if max_instances is None:
-                yield from _expand_block(plan, graph, kernel, block, times, m)
+                yield from _expand_block(plan, graph, kernel, block, times, m, stats)
             else:
-                for inst in _expand_block(plan, graph, kernel, block, times, m):
+                for inst in _expand_block(plan, graph, kernel, block, times, m, stats):
                     yield inst
                     yielded += 1
                     if yielded >= max_instances:
@@ -94,22 +108,31 @@ def run_plan(
                 block_cap *= 2
     if block:
         if max_instances is None:
-            yield from _expand_block(plan, graph, kernel, block, times, m)
+            yield from _expand_block(plan, graph, kernel, block, times, m, stats)
         else:
-            for inst in _expand_block(plan, graph, kernel, block, times, m):
+            for inst in _expand_block(plan, graph, kernel, block, times, m, stats):
                 yield inst
                 yielded += 1
                 if yielded >= max_instances:
                     return
 
 
-def _expand_block(plan, graph, kernel, frontier, times, m) -> Iterator[Instance]:
-    """Grow one root block to completion, one kernel call per level."""
+def _expand_block(plan, graph, kernel, frontier, times, m, stats=None) -> Iterator[Instance]:
+    """Grow one root block to completion, one kernel call per level.
+
+    ``stats`` is the driver's pre-bound observability triple
+    ``(registry, partials_metric, extensions_metric)`` — or ``None``
+    (the default, and the disabled path's only per-level cost).
+    """
     n = plan.n_events
     predicate = plan.predicate
     for depth in range(1, n):
+        if stats is not None:
+            stats[0].observe(stats[1], len(frontier))
         if depth == n - 1:
             extensions = kernel.extend_frontier(frontier, 0, m, need_nodes=False)
+            if stats is not None:
+                stats[0].observe(stats[2], len(extensions))
             if predicate is None:
                 for pos, idx, _nodes in extensions:
                     yield frontier[pos].seq + (idx,)
@@ -123,5 +146,7 @@ def _expand_block(plan, graph, kernel, frontier, times, m) -> Iterator[Instance]
         # parent's children flip to descending (the LIFO reversal) —
         # fused with admission inside the kernel.
         frontier = kernel.next_frontier(frontier, 0, m, times)
+        if stats is not None:
+            stats[0].observe(stats[2], len(frontier))
         if not frontier:
             return

@@ -48,6 +48,7 @@ from __future__ import annotations
 from itertools import repeat
 from typing import TYPE_CHECKING, Sequence
 
+import repro.obs as _obs
 from repro.core._optional import import_numpy
 
 np = import_numpy()
@@ -488,4 +489,7 @@ def has_kernel(name: str) -> bool:
 def kernel_for(plan: "ExecutionPlan", storage: "GraphStorage") -> ExtensionKernel:
     """Bind the plan's kernel to one storage engine (generic fallback)."""
     cls = KERNELS.get(plan.kernel_name, GenericExtensionKernel)
+    rec = _obs.ACTIVE
+    if rec is not None:
+        rec.inc(_obs.labeled("engine.kernel.bind", kernel=cls.kernel_name))
     return cls(plan, storage)

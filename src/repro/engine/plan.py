@@ -33,6 +33,7 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+import repro.obs as _obs
 from repro.core.constraints import TimingConstraints
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -177,8 +178,13 @@ def compile_plan(
         cached = _PLAN_CACHE.get(key)
     except TypeError:  # unhashable predicate: compile fresh, skip the memo
         cached, key = None, None
+    rec = _obs.ACTIVE
     if cached is not None:
+        if rec is not None:
+            rec.inc("engine.plan.cache_hit")
         return cached
+    if rec is not None:
+        rec.inc("engine.plan.cache_miss")
     plan = ExecutionPlan(
         n_events=n_events,
         constraints=constraints,

@@ -5,7 +5,9 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
+from repro.experiments.options import add_experiment_options, run_kwargs
 from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
 
 
@@ -18,47 +20,19 @@ def _build_parser() -> argparse.ArgumentParser:
             "`python -m repro.experiments table3 --jobs 4` shards every census "
             "of Table 3 across 4 worker processes; "
             "`python -m repro.experiments all --jobs 0` uses one worker per CPU "
-            "for every table and figure. Parallel output is bit-identical to "
-            "serial output."
+            "for every table and figure (parallel output is bit-identical to "
+            "serial output); "
+            "`python -m repro.experiments stream --window 12000 --stats` "
+            "replays the online census with observability enabled and prints "
+            "push-latency histograms, prefix-store/expiry-heap gauges and "
+            "per-layer counters."
         ),
     )
     parser.add_argument(
         "experiment",
         help="experiment id (e.g. table3, figure5), 'all', or 'list'",
     )
-    parser.add_argument(
-        "--scale",
-        type=float,
-        default=1.0,
-        help="dataset size multiplier (default 1.0 = registry sizes)",
-    )
-    parser.add_argument(
-        "--datasets",
-        nargs="*",
-        default=None,
-        help="dataset names to run on (default: per-experiment choice)",
-    )
-    parser.add_argument(
-        "--window",
-        type=float,
-        default=None,
-        metavar="W",
-        help=(
-            "trailing-window length in seconds for the online census "
-            "replay (the 'stream' experiment; other experiments ignore it)"
-        ),
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        metavar="N",
-        help=(
-            "worker processes for motif censuses and shuffle ensembles "
-            "(applies to every experiment; 1 = serial, 0 = one per CPU; "
-            "default: the REPRO_JOBS environment variable, else serial)"
-        ),
-    )
+    add_experiment_options(parser)
     return parser
 
 
@@ -68,25 +42,41 @@ def main(argv: list[str] | None = None) -> int:
         for eid, (_run, title) in EXPERIMENTS.items():
             print(f"{eid:10} {title}")
         return 0
-    kwargs = {"scale": args.scale}
-    if args.datasets is not None:
-        kwargs["datasets"] = args.datasets
-    if args.jobs is not None:
-        kwargs["jobs"] = args.jobs
-    if args.window is not None:
-        kwargs["window"] = args.window
+    kwargs = run_kwargs(args)
+    registry = None
+    if args.stats or args.stats_json:
+        # Enable before anything builds engines: hot paths bind the
+        # recorder at construction time (the repro.obs contract).
+        import repro.obs as obs
+
+        registry = obs.MetricsRegistry()
+        obs.enable(registry)
     started = time.time()
-    if args.experiment == "all":
-        for result in run_all(**kwargs):
+    try:
+        if args.experiment == "all":
+            for result in run_all(**kwargs):
+                print(result.text)
+                print()
+        else:
+            try:
+                result = run_experiment(args.experiment, **kwargs)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
             print(result.text)
-            print()
-    else:
-        try:
-            result = run_experiment(args.experiment, **kwargs)
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
-        print(result.text)
+    finally:
+        if registry is not None:
+            import repro.obs as obs
+
+            obs.disable()
+    if registry is not None:
+        import repro.obs as obs
+
+        print()
+        print(obs.render_table(registry.snapshot()))
+        if args.stats_json:
+            Path(args.stats_json).write_text(registry.to_json())
+            print(f"[stats snapshot written to {args.stats_json}]")
     print(f"[done in {time.time() - started:.1f}s]")
     return 0
 

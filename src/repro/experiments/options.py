@@ -1,0 +1,142 @@
+"""One shared registration path for the experiments CLI options.
+
+Both consumers of the experiment runner — the argparse entry point
+(``python -m repro.experiments``) and the report builder
+(:mod:`repro.experiments.report`) — resolve their accepted options from
+:data:`OPTION_SPECS`, so the two can never drift apart.  (They once did:
+the stream subcommand's stats options were documented in ``--help`` but
+silently rejected by ``build_report``.)
+
+* :func:`add_experiment_options` installs every option on an argparse
+  parser (the CLI's half of the contract).
+* :func:`option_names` / :func:`describe_options` expose the same spec
+  to keyword-argument consumers (the report builder validates its
+  ``**options`` against this and documents them from it).
+* :func:`run_kwargs` extracts the subset forwarded to experiment ``run``
+  callables; the rest (``stats``, ``stats_json``) belong to the harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "OPTION_SPECS",
+    "RUN_KWARG_NAMES",
+    "add_experiment_options",
+    "describe_options",
+    "option_names",
+    "run_kwargs",
+]
+
+#: ``(flag, argparse add_argument kwargs)`` for every experiment option,
+#: in display order.  The destination name (``--stats-json`` ->
+#: ``stats_json``) is the keyword consumers accept.
+OPTION_SPECS: tuple[tuple[str, dict[str, Any]], ...] = (
+    (
+        "--scale",
+        dict(
+            type=float,
+            default=1.0,
+            help="dataset size multiplier (default 1.0 = registry sizes)",
+        ),
+    ),
+    (
+        "--datasets",
+        dict(
+            nargs="*",
+            default=None,
+            help="dataset names to run on (default: per-experiment choice)",
+        ),
+    ),
+    (
+        "--window",
+        dict(
+            type=float,
+            default=None,
+            metavar="W",
+            help=(
+                "trailing-window length in seconds for the online census "
+                "replay (the 'stream' experiment; other experiments ignore it)"
+            ),
+        ),
+    ),
+    (
+        "--jobs",
+        dict(
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "worker processes for motif censuses and shuffle ensembles "
+                "(applies to every experiment; 1 = serial, 0 = one per CPU; "
+                "default: the REPRO_JOBS environment variable, else serial)"
+            ),
+        ),
+    ),
+    (
+        "--stats",
+        dict(
+            action="store_true",
+            help=(
+                "enable the observability layer (repro.obs) for the run and "
+                "print the per-layer metrics table afterwards — for the "
+                "stream experiment this includes push-latency histograms, "
+                "prefix-store / expiry-heap gauges and shed counts"
+            ),
+        ),
+    ),
+    (
+        "--stats-json",
+        dict(
+            default=None,
+            metavar="PATH",
+            help=(
+                "also write the raw registry snapshot as JSON to PATH "
+                "(implies --stats)"
+            ),
+        ),
+    ),
+)
+
+#: Options forwarded to experiment ``run`` callables.  ``stats`` and
+#: ``stats_json`` are harness-level (they configure the registry around
+#: the run, not the experiment itself).
+RUN_KWARG_NAMES: tuple[str, ...] = ("scale", "datasets", "window", "jobs")
+
+
+def _dest(flag: str) -> str:
+    return flag.lstrip("-").replace("-", "_")
+
+
+def add_experiment_options(parser: argparse.ArgumentParser) -> None:
+    """Install every shared experiment option on ``parser``."""
+    for flag, spec in OPTION_SPECS:
+        parser.add_argument(flag, **spec)
+
+
+def option_names() -> tuple[str, ...]:
+    """The keyword names of every shared option (argparse dests)."""
+    return tuple(_dest(flag) for flag, _spec in OPTION_SPECS)
+
+
+def describe_options() -> Iterator[tuple[str, str]]:
+    """``(keyword, help text)`` pairs, in display order."""
+    for flag, spec in OPTION_SPECS:
+        yield _dest(flag), spec.get("help", "")
+
+
+def run_kwargs(namespace: Any) -> dict[str, Any]:
+    """The experiment-``run`` kwargs present on an argparse namespace
+    (or any object/mapping with the option names as attributes/keys),
+    with unset (``None``) options omitted so experiment defaults apply.
+    ``scale`` always forwards (its default is a real value, not a
+    sentinel)."""
+    getter = namespace.get if isinstance(namespace, Mapping) else None
+    out: dict[str, Any] = {}
+    for name in RUN_KWARG_NAMES:
+        value = getter(name) if getter else getattr(namespace, name, None)
+        if value is not None:
+            out[name] = value
+    return out

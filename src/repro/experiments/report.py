@@ -7,6 +7,12 @@ complete run can be archived as one file::
 
     from repro.experiments.report import write_report
     write_report("report.md", scale=0.5)
+
+The builder accepts exactly the CLI's shared options
+(:data:`repro.experiments.options.OPTION_SPECS` — ``window``, ``jobs``,
+``stats``, ``stats_json``); unknown keywords are rejected against that
+one spec, so the CLI ``--help`` and this API can never disagree about
+what the stream subcommand's stats options are called.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.options import option_names, run_kwargs
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 
 #: Default report order: main text artifacts, then the appendix.
@@ -47,8 +54,24 @@ def build_report(
     *,
     scale: float = 1.0,
     datasets: Iterable[str] | None = None,
+    **options,
 ) -> str:
-    """Run experiments and render one markdown document."""
+    """Run experiments and render one markdown document.
+
+    ``options`` takes the CLI's shared keywords (see
+    :mod:`repro.experiments.options`): ``window`` and ``jobs`` forward to
+    every experiment run; ``stats=True`` enables the observability layer
+    around the whole report and appends its per-layer table as a final
+    section; ``stats_json=PATH`` additionally writes the raw registry
+    snapshot there.
+    """
+    known = set(option_names())
+    unknown_opts = sorted(set(options) - known)
+    if unknown_opts:
+        raise TypeError(
+            f"unknown report options {unknown_opts}; the shared experiment "
+            f"options are {sorted(known)} (repro.experiments.options)"
+        )
     ids = list(experiment_ids) if experiment_ids is not None else list(DEFAULT_ORDER)
     unknown = [eid for eid in ids if eid not in EXPERIMENTS]
     if unknown:
@@ -64,11 +87,38 @@ def build_report(
     kwargs: dict = {"scale": scale}
     if datasets is not None:
         kwargs["datasets"] = list(datasets)
-    for eid in ids:
-        started = time.time()
-        result = run_experiment(eid, **kwargs)
-        elapsed = time.time() - started
-        lines.extend(_render_section(result, elapsed))
+    kwargs.update(run_kwargs(options))  # window / jobs, when set
+    stats_json = options.get("stats_json")
+    registry = None
+    if options.get("stats") or stats_json:
+        import repro.obs as obs
+
+        registry = obs.MetricsRegistry()
+        obs.enable(registry)
+    try:
+        for eid in ids:
+            started = time.time()
+            result = run_experiment(eid, **kwargs)
+            elapsed = time.time() - started
+            lines.extend(_render_section(result, elapsed))
+    finally:
+        if registry is not None:
+            import repro.obs as obs
+
+            obs.disable()
+    if registry is not None:
+        import repro.obs as obs
+
+        lines.append("## Observability")
+        lines.append("")
+        lines.append("```text")
+        lines.append(obs.render_table(registry.snapshot()))
+        lines.append("```")
+        lines.append("")
+        if stats_json:
+            Path(stats_json).write_text(registry.to_json())
+            lines.append(f"_raw registry snapshot written to `{stats_json}`_")
+            lines.append("")
     return "\n".join(lines)
 
 
@@ -94,10 +144,14 @@ def write_report(
     *,
     scale: float = 1.0,
     datasets: Iterable[str] | None = None,
+    **options,
 ) -> Path:
-    """Build and write the report; returns the path."""
+    """Build and write the report; returns the path.
+
+    Accepts the same shared options as :func:`build_report`.
+    """
     path = Path(path)
     path.write_text(
-        build_report(experiment_ids, scale=scale, datasets=datasets)
+        build_report(experiment_ids, scale=scale, datasets=datasets, **options)
     )
     return path

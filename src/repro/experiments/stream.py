@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 from typing import Iterable
 
+import repro.obs as _obs
 from repro.algorithms.counting import run_census
 from repro.analysis import textplot
 from repro.core.constraints import TimingConstraints
@@ -68,12 +69,22 @@ def run(
             backend=graph.backend,
             prune_every=prune_every,
         )
+        rec = _obs.ACTIVE
+        total_events = len(graph)
+        checkpoints = (
+            {max(1, total_events * q // 4) for q in (1, 2, 3, 4)}
+            if rec is not None
+            else frozenset()
+        )
+        rolling: list[str] = []
         started = time.perf_counter()
         peak_live = 0
-        for event in graph.events:
+        for i, event in enumerate(graph.events, start=1):
             engine.push(event)
             if engine.live_instances > peak_live:
                 peak_live = engine.live_instances
+            if i in checkpoints:
+                rolling.append(_rolling_line(rec, i, total_events))
         seconds = time.perf_counter() - started
         rate = len(graph) / seconds if seconds > 0 else float("inf")
 
@@ -107,8 +118,9 @@ def run(
                     f"retained tail {fmt_count(len(engine.graph))} events",
                     f"  final-window parity vs batch recount: "
                     f"{'ok' if parity else 'MISMATCH'}",
-                    chart,
                 ]
+                + rolling
+                + [chart]
             )
         )
         data[graph.name] = {
@@ -122,6 +134,12 @@ def run(
             "final_counts": dict(online.code_counts),
             "parity": parity,
         }
+        if rec is not None:
+            hist = rec.histograms.get("online.push.seconds")
+            if hist is not None:
+                data[graph.name]["push_latency"] = _obs.summarize_histogram(
+                    hist.to_snapshot()
+                )
 
     notes = [
         "The online engine maintains the trailing-window census "
@@ -129,10 +147,37 @@ def run(
         "batch run_census over the matching slice_time window "
         "(the invariant tests/test_online.py asserts push-by-push).",
     ]
+    if _obs.enabled():
+        notes.append(
+            "Observability was enabled (--stats): sections include rolling "
+            "push-latency quantiles and store/heap gauges at replay "
+            "quarters; the full per-layer table prints after the run."
+        )
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         text="\n".join(sections),
         data=data,
         notes=notes,
+    )
+
+
+def _rolling_line(rec, done: int, total: int) -> str:
+    """One cumulative stats line at a replay checkpoint (obs enabled).
+
+    Reads the live registry the engine is recording into: the cumulative
+    push-latency quantiles so far plus the current store/heap gauges.
+    """
+    from repro.obs.render import format_value
+
+    pct = 100 * done // total
+    hist = rec.histograms.get("online.push.seconds")
+    if hist is None or not hist.count:
+        return f"  [stats {pct:>3}%] (no pushes recorded)"
+    gauges = rec.gauges
+    return (
+        f"  [stats {pct:>3}%] push p50={format_value(hist.quantile(0.5))}s "
+        f"p99={format_value(hist.quantile(0.99))}s | "
+        f"prefix-store entries={int(gauges.get('online.prefix_store.entries', 0))} "
+        f"expiry-heap depth={int(gauges.get('online.expiry_heap.depth', 0))}"
     )

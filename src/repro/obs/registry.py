@@ -1,0 +1,307 @@
+"""The process-local metrics registry: counters, gauges, histograms, spans.
+
+One :class:`MetricsRegistry` holds every measurement a process records
+while observability is enabled.  Three metric kinds, chosen so that
+snapshots from different processes (the parallel engine's shard workers)
+fold together without coordination:
+
+* **counters** — monotone event tallies; snapshots merge by *sum*;
+* **gauges** — last-known level readings (queue depths, store sizes);
+  snapshots merge by *max*, the peak across processes;
+* **histograms** — value distributions over **fixed log-spaced buckets**
+  (powers of two, the ``frexp`` exponent), so two histograms of the same
+  metric always share bucket boundaries and merge by *bucket-wise sum* —
+  associative and commutative, exactly like the counter reductions of
+  :func:`repro.parallel.merge.merge_counts`.
+
+Metrics are identified by dotted names whose first segment is the layer
+(``storage.``, ``engine.``, ``parallel.``, ``online.``, ``streaming.``
+...); optional labels render into the name as ``name{k=v,...}`` via
+:func:`labeled`, so label handling never costs a dict per observation.
+
+Everything here is stdlib-only and import-light: the registry is the
+bottom of the dependency stack (storage, engine, parallel and online all
+record into it) and must never import them back.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "labeled",
+    "merge_snapshots",
+    "summarize_histogram",
+]
+
+#: Bucket index for non-positive observations (durations and sizes are
+#: non-negative; zero gets its own bucket below every positive one).
+_ZERO_BUCKET = -1075  # below the subnormal float range
+
+
+def _bucket(value: float) -> int:
+    """The fixed log2 bucket of one observation.
+
+    A positive ``v`` lands in bucket ``e`` iff ``2**(e-1) <= v < 2**e``
+    (the ``frexp`` exponent), so bucket ``e``'s upper edge is ``2**e``.
+    The boundaries are a property of the encoding, not of any histogram
+    instance — which is what makes merges associative.
+    """
+    if value > 0.0:
+        return math.frexp(value)[1]
+    return _ZERO_BUCKET
+
+
+def labeled(name: str, **labels) -> str:
+    """Render a metric name with labels: ``labeled("a.b", k="x") == "a.b{k=x}"``.
+
+    Call sites on hot paths should build the labeled name once (at bind
+    or setup time), not per observation.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Histogram:
+    """A value distribution over the fixed log2 buckets.
+
+    Tracks the exact ``count``/``total``/``min``/``max`` alongside the
+    bucketed counts, so means are exact and only quantiles are read off
+    the bucket edges (within a factor of 2, plenty for latency triage).
+    """
+
+    __slots__ = ("count", "total", "vmin", "vmax", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        b = _bucket(value)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    def quantile(self, q: float) -> float:
+        """The upper bucket edge at cumulative share ``q`` (0 <= q <= 1).
+
+        Clamped to the exact observed ``min``/``max``, so ``quantile(0)``
+        and ``quantile(1)`` are exact and interior quantiles are off by
+        at most one octave.
+        """
+        if self.count == 0:
+            return math.nan
+        target = q * self.count
+        if target <= 0:
+            return self.vmin
+        seen = 0
+        for b in sorted(self.buckets):
+            seen += self.buckets[b]
+            if seen >= target:
+                edge = 0.0 if b == _ZERO_BUCKET else 2.0**b
+                return min(max(edge, self.vmin), self.vmax)
+        return self.vmax  # pragma: no cover - q > 1 defensive
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def to_snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.vmin if self.count else None,
+            "max": self.vmax if self.count else None,
+            "buckets": {str(b): n for b, n in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: Mapping) -> "Histogram":
+        hist = cls()
+        hist.count = int(snap["count"])
+        hist.total = float(snap["total"])
+        hist.vmin = math.inf if snap.get("min") is None else float(snap["min"])
+        hist.vmax = -math.inf if snap.get("max") is None else float(snap["max"])
+        hist.buckets = {int(b): int(n) for b, n in snap["buckets"].items()}
+        return hist
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (bucket-wise sum; exact min/max/total)."""
+        self.count += other.count
+        self.total += other.total
+        if other.vmin < self.vmin:
+            self.vmin = other.vmin
+        if other.vmax > self.vmax:
+            self.vmax = other.vmax
+        for b, n in other.buckets.items():
+            self.buckets[b] = self.buckets.get(b, 0) + n
+
+
+class MetricsRegistry:
+    """All metrics of one process (or one shard worker), by name.
+
+    The registry is deliberately permissive — any name may be
+    incremented, set or observed at any time; metrics exist from their
+    first touch.  CPython dict operations make single increments atomic
+    enough for the library's process-per-worker model (no threads share
+    a registry today; a future async service layer would wrap one
+    registry per event loop).
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero on first touch)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the current level of ``name`` (last write wins)."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to histogram ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def span(self, name: str) -> "_Span":
+        """Context manager timing a block into histogram ``name`` (seconds).
+
+        The histogram's ``count`` doubles as the call counter::
+
+            with registry.span("online.prune.seconds"):
+                ...
+        """
+        return _Span(self, name)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A plain-data (JSON-ready, picklable) copy of every metric."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: hist.to_snapshot() for name, hist in self.histograms.items()
+            },
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def merge_snapshot(self, snap: Mapping) -> None:
+        """Fold one :meth:`snapshot` into this registry.
+
+        Counters sum, gauges keep the max (the peak level across
+        processes), histograms merge bucket-wise — the same reduction
+        :func:`merge_snapshots` applies, so merging worker snapshots
+        into the parent registry or merging the snapshots standalone
+        produces identical numbers.
+        """
+        for name, n in snap.get("counters", {}).items():
+            self.inc(name, n)
+        for name, value in snap.get("gauges", {}).items():
+            current = self.gauges.get(name)
+            if current is None or value > current:
+                self.gauges[name] = float(value)
+        for name, hist_snap in snap.get("histograms", {}).items():
+            incoming = Histogram.from_snapshot(hist_snap)
+            hist = self.histograms.get(name)
+            if hist is None:
+                self.histograms[name] = incoming
+            else:
+                hist.merge(incoming)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MetricsRegistry {len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, {len(self.histograms)} histograms>"
+        )
+
+
+class _Span:
+    """Wall-clock timer recording into a histogram on exit."""
+
+    __slots__ = ("_registry", "_name", "_started")
+
+    def __init__(self, registry: MetricsRegistry, name: str) -> None:
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._registry.observe(self._name, time.perf_counter() - self._started)
+
+
+def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
+    """Reduce snapshots into one (sum counters, max gauges, merge buckets).
+
+    The reduction is associative and commutative — ``jobs=4`` worker
+    snapshots merge into the same totals in any grouping or order, the
+    property :mod:`tests.test_obs` pins — so it composes with the
+    parallel engine's shard merges without ordering requirements.
+    """
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        merged.merge_snapshot(snap)
+    return merged.snapshot()
+
+
+def summarize_histogram(snap: Mapping) -> dict:
+    """Human-oriented summary (count/mean/p50/p99/max) of a histogram snapshot."""
+    hist = Histogram.from_snapshot(snap)
+    if not hist.count:
+        return {"count": 0}
+    return {
+        "count": hist.count,
+        "total": hist.total,
+        "mean": hist.mean,
+        "p50": hist.quantile(0.50),
+        "p99": hist.quantile(0.99),
+        "max": hist.vmax,
+    }
+
+
+def iter_layers(snapshot: Mapping) -> Iterator[str]:
+    """Distinct layer prefixes (text before the first ``.``), sorted."""
+    layers = set()
+    for section in ("counters", "gauges", "histograms"):
+        for name in snapshot.get(section, {}):
+            layers.add(name.split(".", 1)[0])
+    return iter(sorted(layers))

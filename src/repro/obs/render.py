@@ -1,0 +1,73 @@
+"""Text rendering of registry snapshots: the ``--stats`` per-layer table.
+
+Purely presentational — everything here consumes the plain-data
+snapshots of :mod:`repro.obs.registry`, so the same renderer serves the
+CLI's end-of-run table, the stream experiment's rolling sections and the
+live dashboard.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.obs.registry import Histogram, iter_layers
+
+__all__ = ["format_value", "render_histogram_line", "render_table"]
+
+
+def format_value(value: float) -> str:
+    """Compact human formatting: sub-second decimals, SI-ish large counts."""
+    if value != value:  # NaN
+        return "-"
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 1e6:
+        return f"{value:.3g}"
+    if abs(value) < 0.001:
+        return f"{value * 1e6:.1f}u"
+    if abs(value) < 1:
+        return f"{value * 1e3:.2f}m"
+    return f"{value:.3f}"
+
+
+def render_histogram_line(name: str, snap: Mapping) -> str:
+    """One table row for a histogram snapshot (count, mean, p50/p99, max)."""
+    hist = Histogram.from_snapshot(snap)
+    if not hist.count:
+        return f"  {name:<52} (empty)"
+    return (
+        f"  {name:<52}{hist.count:>10} "
+        f"mean={format_value(hist.mean):>8} "
+        f"p50={format_value(hist.quantile(0.5)):>8} "
+        f"p99={format_value(hist.quantile(0.99)):>8} "
+        f"max={format_value(hist.vmax):>8}"
+    )
+
+
+def render_table(snapshot: Mapping, *, title: str = "observability stats") -> str:
+    """The per-layer stats table the ``--stats`` CLI flag prints.
+
+    Metrics group under their layer prefix (``storage``, ``engine``,
+    ``parallel``, ``online``, ...); counters and gauges render as plain
+    values, histograms as count/mean/quantile rows.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if not (counters or gauges or histograms):
+        return f"{title}: (no metrics recorded)"
+    lines = [f"{title} ({len(counters)} counters, {len(gauges)} gauges, "
+             f"{len(histograms)} histograms)"]
+    for layer in iter_layers(snapshot):
+        prefix = layer + "."
+        lines.append(f"\n[{layer}]")
+        for name in sorted(n for n in counters if n.startswith(prefix)):
+            lines.append(f"  {name:<52}{counters[name]:>10}")
+        for name in sorted(n for n in gauges if n.startswith(prefix)):
+            value = gauges[name]
+            shown = int(value) if math.isfinite(value) and value == int(value) else value
+            lines.append(f"  {name:<52}{format_value(float(shown)):>10}")
+        for name in sorted(n for n in histograms if n.startswith(prefix)):
+            lines.append(render_histogram_line(name, histograms[name]))
+    return "\n".join(lines)

@@ -56,9 +56,11 @@ from __future__ import annotations
 import bisect
 import heapq
 import math
+import time
 from collections import Counter
 from typing import Callable, Iterable, Iterator
 
+import repro.obs as _obs
 from repro.algorithms.counting import MotifCensus
 from repro.algorithms.enumeration import Instance, enumerate_instances
 from repro.core.constraints import TimingConstraints
@@ -120,10 +122,15 @@ class _PrefixStore:
     windows without ever touching a still-extensible one.
     """
 
-    __slots__ = ("gap_bound", "_buckets", "_sweep_clock")
+    __slots__ = ("gap_bound", "entries", "_buckets", "_sweep_clock")
 
     def __init__(self, gap_bound: float) -> None:
         self.gap_bound = gap_bound
+        #: Total bucketed references (one per (prefix, node)), maintained
+        #: incrementally — the O(1) memory gauge behind the observability
+        #: layer's ``online.prefix_store.entries``, unlike ``__len__``,
+        #: which dedups to distinct prefixes and walks every bucket.
+        self.entries = 0
         self._buckets: dict[int, tuple[list[float], list[_Prefix]]] = {}
         self._sweep_clock: float | None = None
 
@@ -141,6 +148,7 @@ class _PrefixStore:
                 self._buckets[node] = bucket
             bucket[0].append(prefix.t_last)
             bucket[1].append(prefix)
+        self.entries += len(prefix.nodes)
 
     def candidates(self, u: int, v: int, now: float) -> list[_Prefix]:
         """Every prefix touching ``u`` or ``v`` still within the gap bound.
@@ -181,6 +189,7 @@ class _PrefixStore:
             start = bisect.bisect_left(times, keep_from)
             if start == 0:
                 continue
+            self.entries -= start
             if start >= len(prefixes):
                 del self._buckets[node]
             else:
@@ -287,6 +296,10 @@ class OnlineCensus:
         self._since_prune = 0
         self._seq = 0  # heap tiebreaker (payloads are not comparable)
         self._heap: list[tuple[float, int, str, tuple]] = []
+        # The observability recorder binds at construction (the null-
+        # recorder contract): enable repro.obs before building the engine
+        # you want to watch.  Disabled cost: one ``is None`` per push.
+        self._obs = _obs.ACTIVE
 
     # ------------------------------------------------------------------
     # introspection
@@ -350,6 +363,19 @@ class OnlineCensus:
         ending at the arrival; instances that fail the window bound or
         the predicate are neither counted nor returned.
         """
+        rec = self._obs
+        if rec is None:
+            return self._push(event)
+        start = time.perf_counter()
+        out = self._push(event)
+        rec.observe("online.push.seconds", time.perf_counter() - start)
+        if out:
+            rec.inc("online.push.instances", len(out))
+        rec.set_gauge("online.prefix_store.entries", self._prefixes.entries)
+        rec.set_gauge("online.expiry_heap.depth", len(self._heap))
+        return out
+
+    def _push(self, event: Event | tuple) -> list[Instance]:
         ev = event if isinstance(event, Event) else Event(*event)
         if self._now is not None and ev.t < self._now:
             raise ValueError(
@@ -498,6 +524,18 @@ class OnlineCensus:
         references), and global event indices stay stable via the rebase
         offset.
         """
+        rec = self._obs
+        if rec is None:
+            return self._prune()
+        start = time.perf_counter()
+        dropped = self._prune()
+        rec.observe("online.prune.seconds", time.perf_counter() - start)
+        if dropped:
+            rec.inc("online.prune.dropped", dropped)
+            rec.inc("online.prune.rebases")
+        return dropped
+
+    def _prune(self) -> int:
         if self._now is None:
             return 0
         reach = self._delta if self._delta <= self._window else self._window
@@ -620,8 +658,10 @@ class OnlineCensus:
         the closed window, matching ``slice_time``'s ``bisect_left``.
         """
         heap = self._heap
+        retired = 0
         while heap and heap[0][0] < horizon:
             _t, _n, code, pair_seq = heapq.heappop(heap)
+            retired += 1
             self._code_counts[code] -= 1
             if not self._code_counts[code]:
                 del self._code_counts[code]
@@ -634,6 +674,8 @@ class OnlineCensus:
                 del self._pair_seq_counts[pair_seq]
             self._total -= 1
             self._expired += 1
+        if retired and self._obs is not None:
+            self._obs.inc("online.expire.retired", retired)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

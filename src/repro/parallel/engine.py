@@ -22,11 +22,15 @@ from __future__ import annotations
 
 import bisect
 import math
+import pickle
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
+import repro.obs as _obs
 from repro.core.constraints import TimingConstraints
+from repro.obs import MetricsRegistry
 from repro.core.temporal_graph import TemporalGraph
 from repro.engine import ExecutionPlan, compile_plan
 from repro.engine import is_shard_safe as is_shard_safe  # re-export (one copy)
@@ -83,9 +87,37 @@ class _ShardTask:
     plan: ExecutionPlan | None = None
     local_roots: Sequence[int] | None = None
     options: dict = field(default_factory=dict)
+    #: Observability handshake: when the parent's registry is active the
+    #: worker runs under a fresh local registry and ships its snapshot
+    #: back alongside the shard result (merged by ``_execute`` exactly
+    #: like ``merge_counts`` folds shard counters).  ``submitted`` is the
+    #: parent's ``time.monotonic()`` at task construction — comparable
+    #: across fork workers on the same host — from which the worker
+    #: derives its queue wait.
+    obs: bool = False
+    submitted: float | None = None
 
 
 def _run_shard(task: _ShardTask):
+    if not task.obs:
+        return _run_shard_inner(task)
+    queue_wait = 0.0 if task.submitted is None else time.monotonic() - task.submitted
+    parent = _obs.ACTIVE
+    local = MetricsRegistry()
+    _obs.ACTIVE = local
+    try:
+        start = time.perf_counter()
+        result = _run_shard_inner(task)
+        elapsed = time.perf_counter() - start
+    finally:
+        _obs.ACTIVE = parent
+    local.observe("parallel.shard.seconds", elapsed)
+    local.observe("parallel.shard.queue_wait_seconds", max(queue_wait, 0.0))
+    local.observe("parallel.shard.events", task.shard.ev_hi - task.shard.ev_lo)
+    return result, local.snapshot()
+
+
+def _run_shard_inner(task: _ShardTask):
     # Deferred import: counting/enumeration lazily import this package on
     # their jobs= paths, so the engine must not import them at module level.
     from repro.algorithms import counting, enumeration
@@ -174,6 +206,8 @@ def _execute(
     else:
         shards = plan_root_shards(graph, n_jobs)
     storage = graph.storage
+    rec = _obs.ACTIVE
+    submitted = time.monotonic() if rec is not None else None
     tasks = [
         _ShardTask(
             kind=kind,
@@ -188,10 +222,28 @@ def _execute(
             plan=plan,
             local_roots=_owned_roots(shard, roots),
             options=options or {},
+            obs=rec is not None,
+            submitted=submitted,
         )
         for shard in shards
     ]
-    return shards, get_executor(n_jobs).map(_run_shard, tasks)
+    if rec is not None:
+        rec.inc(_obs.labeled("parallel.execute.calls", kind=kind))
+        rec.set_gauge("parallel.jobs", n_jobs)
+        rec.set_gauge("parallel.shards", len(tasks))
+        for task in tasks:
+            rec.observe(
+                "parallel.shard.payload_bytes",
+                len(pickle.dumps(task.payload, pickle.HIGHEST_PROTOCOL)),
+            )
+    results = get_executor(n_jobs).map(_run_shard, tasks)
+    if rec is not None:
+        unwrapped = []
+        for result, snapshot in results:
+            rec.merge_snapshot(snapshot)
+            unwrapped.append(result)
+        results = unwrapped
+    return shards, results
 
 
 def _owned_roots(shard: Shard, roots: Sequence[int] | None) -> list[int] | None:

@@ -37,6 +37,7 @@ import bisect
 from abc import ABC, abstractmethod
 from typing import ClassVar, Iterable, Iterator, Mapping, Sequence
 
+import repro.obs as _obs
 from repro.core.events import Event, validate_events
 
 
@@ -237,6 +238,10 @@ class GraphStorage(ABC):
         engines answer the whole batch with a constant number of
         vectorized probes.  All three sequences must share one length.
         """
+        rec = _obs.ACTIVE
+        if rec is not None:
+            rec.inc("storage.window_batch.calls")
+            rec.observe("storage.window_batch.queries", len(nodes))
         return [
             self.count_node_events_in(node, t_lo, t_hi)
             for node, t_lo, t_hi in zip(nodes, t_los, t_his, strict=True)
@@ -255,13 +260,21 @@ class GraphStorage(ABC):
         found: set[int] = set()
         for node in nodes:
             found.update(self.node_events_between(node, t_lo, t_hi))
-        return sorted(found)
+        out = sorted(found)
+        rec = _obs.ACTIVE
+        if rec is not None:
+            rec.inc("storage.adjacent_events_between.calls")
+            rec.observe("storage.adjacent_events_between.candidates", len(out))
+        return out
 
     # ------------------------------------------------------------------
     # transformations
     # ------------------------------------------------------------------
     def slice_time(self, t_lo: float, t_hi: float) -> "GraphStorage":
         """A new storage holding only events in the closed window."""
+        rec = _obs.ACTIVE
+        if rec is not None:
+            rec.inc("storage.slice_time.calls")
         times = self.times
         lo = bisect.bisect_left(times, t_lo)
         hi = bisect.bisect_right(times, t_hi)
@@ -275,6 +288,9 @@ class GraphStorage(ABC):
         to index ``lo + i`` of this storage.  Array-backed engines override
         this with zero-copy column views.
         """
+        rec = _obs.ACTIVE
+        if rec is not None:
+            rec.inc("storage.slice_range.calls")
         return type(self).from_events(self.events[lo:hi], presorted=True)
 
     def shard_payload(self, lo: int, hi: int):

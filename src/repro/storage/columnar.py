@@ -38,6 +38,7 @@ import bisect
 from array import array
 from typing import Iterable, Iterator
 
+import repro.obs as _obs
 from repro.core.events import Event, validate_events
 from repro.storage.base import GraphStorage
 
@@ -522,6 +523,10 @@ class ColumnarStorage(GraphStorage):
     def compact(self) -> None:
         """Fold tail appends into the flat columns (one vectorized rebuild)."""
         if self._tail:
+            rec = _obs.ACTIVE
+            if rec is not None:
+                rec.inc("storage.compact.calls")
+                rec.observe("storage.compact.tail_events", len(self._tail))
             self._build(self.events)
 
 

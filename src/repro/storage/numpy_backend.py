@@ -52,6 +52,7 @@ import json
 import os
 from typing import Any, Iterable, Iterator, Sequence
 
+import repro.obs as _obs
 from repro.core.events import Event, validate_events
 from repro.storage.base import GraphStorage
 
@@ -626,6 +627,10 @@ class NumpyStorage(GraphStorage):
             q = np.asarray(nodes, dtype=np.int64)
         except (OverflowError, TypeError, ValueError):
             return super().count_node_events_in_batch(nodes, t_los, t_his)
+        rec = _obs.ACTIVE
+        if rec is not None:
+            rec.inc("storage.window_batch.calls")
+            rec.observe("storage.window_batch.queries", len(nodes))
         keys = self._node_keys()
         banded = self._node_banded_index()
         slots = np.minimum(keys.searchsorted(q), len(keys) - 1)
@@ -682,16 +687,25 @@ class NumpyStorage(GraphStorage):
             if a < b:
                 parts.append(idx[a:b])
         if not parts:
-            return []
-        if len(parts) == 1:
-            return parts[0].tolist()
-        return np.unique(np.concatenate(parts)).tolist()
+            out: list[int] = []
+        elif len(parts) == 1:
+            out = parts[0].tolist()
+        else:
+            out = np.unique(np.concatenate(parts)).tolist()
+        rec = _obs.ACTIVE
+        if rec is not None:
+            rec.inc("storage.adjacent_events_between.calls")
+            rec.observe("storage.adjacent_events_between.candidates", len(out))
+        return out
 
     # ------------------------------------------------------------------
     # transformations / shard plumbing
     # ------------------------------------------------------------------
     def slice_time(self, t_lo: float, t_hi: float) -> "NumpyStorage":
         """Zero-copy column views over the closed window (lazy indices)."""
+        rec = _obs.ACTIVE
+        if rec is not None:
+            rec.inc("storage.slice_time.calls")
         if self._tail:
             self.compact()
         lo, hi = self._closed_range(t_lo, t_hi)
@@ -699,6 +713,9 @@ class NumpyStorage(GraphStorage):
 
     def slice_range(self, lo: int, hi: int) -> "NumpyStorage":
         """A new storage over ``events[lo:hi]`` as zero-copy column views."""
+        rec = _obs.ACTIVE
+        if rec is not None:
+            rec.inc("storage.slice_range.calls")
         if self._tail:
             self.compact()
         return type(self).from_arrays(
@@ -748,6 +765,10 @@ class NumpyStorage(GraphStorage):
         """
         if not self._tail:
             return
+        rec = _obs.ACTIVE
+        if rec is not None:
+            rec.inc("storage.compact.calls")
+            rec.observe("storage.compact.tail_events", len(self._tail))
         tail = self._tail
         u = np.concatenate(
             (np.asarray(self._u), np.fromiter((ev.u for ev in tail), dtype=np.int64))

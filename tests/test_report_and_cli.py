@@ -5,6 +5,7 @@ import pytest
 pytest.importorskip("numpy", reason="the experiment runner needs numpy-seeded datasets")
 
 from repro.experiments.__main__ import main as cli_main
+from repro.experiments.options import OPTION_SPECS, option_names, run_kwargs
 from repro.experiments.report import DEFAULT_ORDER, build_report, write_report
 from repro.experiments.runner import EXPERIMENTS
 
@@ -113,3 +114,80 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "--jobs" in out
         assert "REPRO_JOBS" in out
+
+    def test_help_documents_every_shared_option(self, capsys):
+        """--help lists exactly the shared option spec (one registration path)."""
+        with pytest.raises(SystemExit):
+            cli_main(["--help"])
+        out = capsys.readouterr().out
+        for flag, _spec in OPTION_SPECS:
+            assert flag in out
+        assert "--stats" in out and "--stats-json" in out
+
+    def test_stream_stats_flag_prints_per_layer_table(self, capsys):
+        code = cli_main(
+            ["stream", "--scale", "0.1", "--window", "6000",
+             "--datasets", "sms-copenhagen", "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "observability stats" in out
+        assert "[online]" in out
+        assert "online.push.seconds" in out
+        assert "online.prefix_store.entries" in out
+        assert "online.expiry_heap.depth" in out
+        assert "[stats 100%] push p50=" in out  # the rolling sections
+
+    def test_stats_json_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "stats.json"
+        code = cli_main(
+            ["stream", "--scale", "0.1", "--window", "6000",
+             "--datasets", "sms-copenhagen", "--stats-json", str(path)]
+        )
+        assert code == 0
+        snap = json.loads(path.read_text())
+        assert snap["histograms"]["online.push.seconds"]["count"] > 0
+
+    def test_stats_flag_restores_null_recorder(self):
+        import repro.obs as obs
+
+        cli_main(
+            ["stream", "--scale", "0.1", "--window", "6000",
+             "--datasets", "sms-copenhagen", "--stats"]
+        )
+        assert obs.ACTIVE is None
+
+
+class TestSharedOptions:
+    def test_option_names_cover_run_and_harness_kwargs(self):
+        names = option_names()
+        assert set(names) >= {"scale", "datasets", "window", "jobs",
+                              "stats", "stats_json"}
+
+    def test_run_kwargs_drops_unset_options(self):
+        assert run_kwargs({"window": 9000.0, "jobs": None}) == {"window": 9000.0}
+
+    def test_report_rejects_unknown_option(self):
+        with pytest.raises(TypeError, match="unknown report options"):
+            build_report(["table1"], nope=True)
+
+    def test_report_accepts_stats_and_appends_section(self, tmp_path):
+        text = build_report(
+            ["stream"],
+            scale=0.1,
+            datasets=["sms-copenhagen"],
+            window=6000.0,
+            stats=True,
+            stats_json=str(tmp_path / "report_stats.json"),
+        )
+        assert "## Observability" in text
+        assert "online.push.seconds" in text
+        assert (tmp_path / "report_stats.json").exists()
+
+    def test_report_forwards_jobs(self):
+        text = build_report(
+            ["table2"], scale=0.05, datasets=["sms-copenhagen"], jobs=2
+        )
+        assert "Table 2" in text
