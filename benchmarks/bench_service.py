@@ -1,0 +1,231 @@
+"""Census-service kernels: sustained concurrent load over one shared graph.
+
+The service's reason to exist is that N clients can query one
+page-directory-backed graph concurrently without N copies of it — so the
+benchmark drives exactly that shape: ``--clients`` threads (>= 4 for the
+acceptance drill), each with its own connection, each running a fixed
+query mix (one full census + two counts + a spread of window queries)
+against a server booted on a generated stream.
+
+**Every answer is checked bit-identical** to the serial oracle computed
+in this process (values *and* JSON key order — the ``merge_counts``
+first-appearance contract, over the wire, under concurrency).  A
+benchmark that returns wrong answers fast would be worse than useless.
+
+Reported: sustained queries/sec across all clients, plus p50/p99
+per-request latency.  Standalone run writes the BENCH-format JSON
+record::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_service.py \
+        --events 4000 --clients 4 --json bench_service.json
+
+Committed baselines for the CI perf-regression gate live in
+``benchmarks/baselines/``; see ``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from dataclasses import replace
+
+from bench_storage import CONSTRAINTS, STREAM_CONFIG
+from repro.algorithms.counting import count_motifs, run_census
+from repro.core.temporal_graph import TemporalGraph
+from repro.datasets.generators import generate
+from repro.service.client import ServiceClient
+from repro.service.server import start_in_thread
+from repro.service.workers import _serialize_census
+
+#: Window-query width (seconds of stream time) for the mix's lookups.
+WINDOW_SPAN = CONSTRAINTS.delta_w * 4
+
+#: Window queries per client in the mix.
+WINDOW_QUERIES = 9
+
+MOTIF_KW = dict(n_events=3, max_nodes=3)
+
+
+def _wire(payload: dict) -> dict:
+    """Normalize an oracle payload the way the wire does (JSON roundtrip)."""
+    return json.loads(json.dumps(payload))
+
+
+def _strip(result: dict) -> dict:
+    """Drop per-request fields that legitimately vary (timing)."""
+    return {k: v for k, v in result.items() if k != "elapsed"}
+
+
+def _build_oracles(graph: TemporalGraph) -> dict:
+    """Serial ground truth for every request in the client mix."""
+    census = run_census(graph, 3, CONSTRAINTS, max_nodes=3)
+    counts = count_motifs(graph, 3, CONSTRAINTS, max_nodes=3)
+    times = graph.times
+    windows = []
+    for k in range(WINDOW_QUERIES):
+        t_hi = times[((k + 1) * (len(times) - 1)) // WINDOW_QUERIES]
+        t_lo = max(times[0], t_hi - WINDOW_SPAN)
+        w_census = run_census(graph.slice(t_lo, t_hi), 3, CONSTRAINTS, max_nodes=3)
+        windows.append((t_lo, t_hi, _wire(_serialize_census(w_census))))
+    return {
+        "census": _wire(_serialize_census(census)),
+        "count": _wire({"codes": dict(counts), "total": sum(counts.values())}),
+        "windows": windows,
+    }
+
+
+def _check(result: dict, oracle: dict, what: str) -> None:
+    got = _strip(result)
+    if got != oracle or list(got["codes"]) != list(oracle["codes"]):
+        raise AssertionError(
+            f"{what}: service answer diverged from the serial oracle\n"
+            f"  got:    {got}\n  oracle: {oracle}"
+        )
+
+
+def _client_mix(host: str, port: int, oracles: dict, latencies: list[float]) -> None:
+    """One client's request mix; appends per-request seconds to latencies."""
+    local: list[float] = []
+    with ServiceClient(host, port) as client:
+        def timed(fn, *args, **kw):
+            started = time.perf_counter()
+            out = fn(*args, **kw)
+            local.append(time.perf_counter() - started)
+            return out
+
+        _check(
+            timed(client.census, delta_c=CONSTRAINTS.delta_c,
+                  delta_w=CONSTRAINTS.delta_w, **MOTIF_KW),
+            oracles["census"],
+            "census",
+        )
+        for _ in range(2):
+            _check(
+                timed(client.count, delta_c=CONSTRAINTS.delta_c,
+                      delta_w=CONSTRAINTS.delta_w, **MOTIF_KW),
+                oracles["count"],
+                "count",
+            )
+        for t_lo, t_hi, oracle in oracles["windows"]:
+            _check(
+                timed(client.window, t_lo, t_hi, delta_c=CONSTRAINTS.delta_c,
+                      delta_w=CONSTRAINTS.delta_w, **MOTIF_KW),
+                oracle,
+                f"window[{t_lo:.0f},{t_hi:.0f}]",
+            )
+    latencies.extend(local)
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def run_load(n_events: int, clients: int, workers: int) -> dict:
+    """Boot a server, drive it with ``clients`` threads, return the report."""
+    graph = generate(replace(STREAM_CONFIG, n_events=n_events), seed=42)
+    oracles = _build_oracles(graph)
+    handle = start_in_thread(
+        events=[(e.u, e.v, e.t) for e in graph.events], workers=workers
+    )
+    try:
+        latencies: list[float] = []
+        threads = [
+            threading.Thread(
+                target=_client_mix,
+                args=(handle.host, handle.port, oracles, latencies),
+                name=f"client-{i}",
+            )
+            for i in range(clients)
+        ]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - started
+        with ServiceClient(handle.host, handle.port) as client:
+            stats = client.stats(timeout=30)
+    finally:
+        handle.stop()
+    n_requests = clients * (1 + 2 + WINDOW_QUERIES)
+    if len(latencies) != n_requests:
+        raise AssertionError(
+            f"expected {n_requests} verified requests, got {len(latencies)} "
+            "(a client died mid-mix)"
+        )
+    ordered = sorted(latencies)
+    return {
+        "wall": wall,
+        "qps": n_requests / wall,
+        "p50": _quantile(ordered, 0.50),
+        "p99": _quantile(ordered, 0.99),
+        "requests": n_requests,
+        "stats": stats,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--events", type=int, default=4000, help="generated stream size"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent client threads (acceptance floor: 4)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="server compute processes"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the BENCH json record to PATH",
+    )
+    args = parser.parse_args(argv)
+    if args.clients < 1:
+        parser.error("--clients must be >= 1")
+    report = run_load(args.events, args.clients, args.workers)
+    print(
+        f"{args.clients} clients x {report['requests'] // args.clients} requests "
+        f"over {args.events} events ({args.workers} workers): "
+        f"all answers bit-identical to the serial oracle"
+    )
+    print(
+        f"  {report['qps']:.1f} queries/sec sustained | "
+        f"p50 {report['p50'] * 1000:.1f}ms | p99 {report['p99'] * 1000:.1f}ms | "
+        f"wall {report['wall']:.2f}s"
+    )
+    if args.json:
+        payload = {
+            "benchmark": "bench_service",
+            "config": {
+                "n_events": args.events,
+                "clients": args.clients,
+                "workers": args.workers,
+                "requests": report["requests"],
+            },
+            # qps stays out of the result rows: check_regression gates on
+            # "seconds" (lower is better); throughput rides as context.
+            "qps": report["qps"],
+            "results": [
+                {"kernel": "request_mix", "clients": args.clients,
+                 "stat": stat, "seconds": report[stat]}
+                for stat in ("p50", "p99", "wall")
+            ],
+            # Observability sidecar: the server's merged server+worker
+            # snapshot after the load (request histograms, queue depth,
+            # engine/storage counters from inside the workers).
+            "obs_snapshot": report["stats"]["metrics"],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

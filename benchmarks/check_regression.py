@@ -156,6 +156,8 @@ def _regen_hint(benchmark: str) -> str:
         return "benchmarks/bench_online.py --events 20000"
     if benchmark == "bench_engine":
         return "benchmarks/bench_engine.py --events 20000"
+    if benchmark == "bench_service":
+        return "benchmarks/bench_service.py --events 4000 --clients 4"
     return "benchmarks/bench_storage.py --events 20000"
 
 

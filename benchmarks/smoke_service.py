@@ -1,0 +1,141 @@
+"""CI smoke drill for the census service: boot, query, stream, shut down.
+
+The scripted client mix the ``service-smoke`` CI job runs against a
+server booted on a registered dataset:
+
+1. ``health`` — workers up, graph loaded;
+2. ``census`` — bit-identical to a serial :func:`run_census` over the
+   same (deterministic) dataset, key order included;
+3. three ``window`` queries — each bit-identical to a serial census of
+   the slice;
+4. a ``push`` stream fed in batches — trailing-window counters equal to
+   a local :class:`OnlineCensus` fed the same events;
+5. ``stats`` — server + worker observability snapshots merged, request
+   counters consistent with the mix just sent;
+6. clean shutdown — no worker deaths, listener closed.
+
+Exit code 0 when every assertion holds, 1 otherwise.  Run it locally::
+
+    PYTHONPATH=src python benchmarks/smoke_service.py
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+
+from repro.algorithms.counting import run_census
+from repro.core.constraints import TimingConstraints
+from repro.datasets.registry import get_dataset
+from repro.online import OnlineCensus
+from repro.service.client import ServiceClient
+from repro.service.server import start_in_thread
+from repro.service.workers import _serialize_census
+
+DATASET = "sms-copenhagen"
+SCALE = 0.1
+CONSTRAINTS = TimingConstraints(delta_c=1500.0, delta_w=3000.0)
+STREAM_WINDOW = 6000.0
+
+
+def _wire(payload):
+    import json
+
+    return json.loads(json.dumps(payload))
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    print(f"  [{'ok' if ok else 'FAIL'}] {label}" + (f" — {detail}" if detail else ""))
+    if not ok:
+        raise AssertionError(f"{label}: {detail}")
+
+
+def main() -> int:
+    print(f"booting census service on {DATASET!r} scale={SCALE} (2 workers)...")
+    graph = get_dataset(DATASET, scale=SCALE)  # deterministic: the oracle graph
+    handle = start_in_thread(dataset=DATASET, scale=SCALE, workers=2)
+    try:
+        with ServiceClient(handle.host, handle.port) as client:
+            health = client.health()
+            check("health", health["status"] == "ok", str(health))
+            check(
+                "graph loaded",
+                health["graph"].get("events") == len(graph.events),
+                f"served {health['graph'].get('events')} != {len(graph.events)}",
+            )
+
+            oracle = _wire(_serialize_census(run_census(graph, 3, CONSTRAINTS, max_nodes=3)))
+            got = client.census(
+                delta_c=CONSTRAINTS.delta_c, delta_w=CONSTRAINTS.delta_w,
+                n_events=3, max_nodes=3,
+            )
+            got.pop("elapsed", None)
+            check("census parity", got == oracle)
+            check("census key order", list(got["codes"]) == list(oracle["codes"]))
+
+            times = graph.times
+            for k in (1, 2, 3):
+                t_hi = times[(len(times) * k) // 4]
+                t_lo = max(times[0], t_hi - 4 * CONSTRAINTS.delta_w)
+                w_oracle = _wire(
+                    _serialize_census(
+                        run_census(graph.slice(t_lo, t_hi), 3, CONSTRAINTS, max_nodes=3)
+                    )
+                )
+                w_got = client.window(
+                    t_lo, t_hi, delta_c=CONSTRAINTS.delta_c,
+                    delta_w=CONSTRAINTS.delta_w, n_events=3, max_nodes=3,
+                )
+                w_got.pop("elapsed", None)
+                check(f"window parity [{t_lo:.0f}, {t_hi:.0f}]", w_got == w_oracle)
+
+            # Push stream vs a local online engine fed the same events.
+            stream_events = [(e.u, e.v, e.t) for e in graph.events[:600]]
+            local = OnlineCensus(3, CONSTRAINTS, STREAM_WINDOW, max_nodes=3)
+            for start in range(0, len(stream_events), 200):
+                batch = stream_events[start : start + 200]
+                pushed = client.push(
+                    batch, stream="smoke", window=STREAM_WINDOW,
+                    delta_c=CONSTRAINTS.delta_c, delta_w=CONSTRAINTS.delta_w,
+                    n_events=3, max_nodes=3, want_counts=True,
+                )
+                for ev in batch:
+                    local.push(ev)
+                check(
+                    f"push batch @{start} accepted", pushed["accepted"] == len(batch)
+                )
+                check(
+                    f"push batch @{start} parity",
+                    pushed["codes"] == dict(local.counts())
+                    and pushed["now"] == local.now,
+                )
+            check("stream close", client.stream_close("smoke")["closed"] is True)
+
+            stats = client.stats(timeout=30)
+            service = stats["service"]
+            counters = stats["metrics"]["counters"]
+            check("stats: both worker snapshots", service["worker_snapshots"] == 2)
+            check(
+                "stats: request counters",
+                counters.get("service.requests{op=census}", 0) >= 1
+                and counters.get("service.requests{op=window}", 0) >= 3
+                and counters.get("service.push.events", 0) == len(stream_events),
+            )
+            check("stats: no worker deaths", service["pool"]["deaths"] == 0)
+            check(
+                "stats: request latency histograms",
+                "service.request.seconds{op=census}" in stats["metrics"]["histograms"],
+            )
+    finally:
+        handle.stop()
+    check("clean shutdown", not handle._thread.is_alive())
+    print("service smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except Exception:
+        traceback.print_exc()
+        sys.exit(1)

@@ -41,6 +41,12 @@ Package map:
   ``REPRO_OBS`` environment variable); storage, engine, parallel,
   online and streaming all record into it, and ``--stats`` on the
   experiments CLI renders the per-layer snapshot;
+* :mod:`repro.service` — census-as-a-service: a concurrent NDJSON
+  query/stream server (``python -m repro.experiments serve``) whose
+  worker processes share one memory-mapped page directory, with
+  admission control, load shedding to sampling estimates, server-side
+  push streams, and the stdlib
+  :class:`~repro.service.client.ServiceClient`;
 * :mod:`repro.datasets` — synthetic dataset generators, the named
   registry, and (gzip-aware, streaming) event-list I/O;
 * :mod:`repro.randomization` — shuffling null models;

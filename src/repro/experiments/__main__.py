@@ -30,7 +30,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. table3, figure5), 'all', or 'list'",
+        help=(
+            "experiment id (e.g. table3, figure5), 'all', 'list', or "
+            "'serve' (run the census service; see --host/--port/--workers)"
+        ),
     )
     add_experiment_options(parser)
     return parser
@@ -41,7 +44,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "list":
         for eid, (_run, title) in EXPERIMENTS.items():
             print(f"{eid:10} {title}")
+        print(f"{'serve':10} census service: concurrent query/stream server")
         return 0
+    if args.experiment == "serve":
+        # Long-running foreground service, not an ExperimentResult —
+        # dispatched before the runner (run_all must never block on it).
+        from repro.service.server import serve_cli
+
+        return serve_cli(args)
     kwargs = run_kwargs(args)
     registry = None
     if args.stats or args.stats_json:

@@ -76,6 +76,76 @@ OPTION_SPECS: tuple[tuple[str, dict[str, Any]], ...] = (
         ),
     ),
     (
+        "--host",
+        dict(
+            default=None,
+            help=(
+                "bind address for the census service (the 'serve' command; "
+                "other experiments ignore it; default 127.0.0.1)"
+            ),
+        ),
+    ),
+    (
+        "--port",
+        dict(
+            type=int,
+            default=None,
+            help=(
+                "TCP port for the census service (the 'serve' command; "
+                "default 8737, 0 = ephemeral)"
+            ),
+        ),
+    ),
+    (
+        "--workers",
+        dict(
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "worker processes of the census service's compute pool (the "
+                "'serve' command; default 2; distinct from --jobs, which "
+                "shards one census inside a worker)"
+            ),
+        ),
+    ),
+    (
+        "--pages",
+        dict(
+            default=None,
+            metavar="DIR",
+            help=(
+                "serve an existing page directory instead of generating a "
+                "dataset (the 'serve' command; see TemporalGraph.save)"
+            ),
+        ),
+    ),
+    (
+        "--max-pending",
+        dict(
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "admission bound on outstanding census-service requests "
+                "before the overflow policy applies (the 'serve' command; "
+                "default 32)"
+            ),
+        ),
+    ),
+    (
+        "--overflow",
+        dict(
+            choices=("reject", "degrade"),
+            default=None,
+            help=(
+                "census-service overflow policy: reject with retry-after, or "
+                "degrade to sampling estimates with error bars (the 'serve' "
+                "command; default reject)"
+            ),
+        ),
+    ),
+    (
         "--stats",
         dict(
             action="store_true",

@@ -36,8 +36,9 @@ Operationally: ``python -m repro.experiments <id> --stats`` enables the
 registry for the run and prints the per-layer table (``--stats-json``
 also writes the raw snapshot); benchmarks embed their snapshot next to
 the timings in their BENCH JSON records; the ``REPRO_OBS`` environment
-variable (any value but ``0``/empty) enables observability at import
-time for processes without CLI flags.
+variable (any value but the falsy spellings ``""``/``0``/``false``/
+``no``/``off``, case-insensitive) enables observability at import time
+for processes without CLI flags.
 
 Spans
 -----
@@ -73,6 +74,7 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "env_enabled",
     "labeled",
     "merge_snapshots",
     "render_histogram_line",
@@ -146,7 +148,18 @@ def span(name: str):
     return reg.span(name)
 
 
+#: Environment values read as "disabled" (case-insensitive): the common
+#: falsy spellings, so ``REPRO_OBS=false`` does not silently enable the
+#: recorder the way any-non-empty-is-truthy parsing once did.
+FALSY_ENV = ("", "0", "false", "no", "off")
+
+
+def env_enabled(value: str | None) -> bool:
+    """Whether a ``REPRO_OBS`` environment value opts observability in."""
+    return (value or "").strip().lower() not in FALSY_ENV
+
+
 # Opt-in via environment for processes that never see a CLI flag (e.g.
-# a worker started by an external scheduler): any value but 0/empty.
-if os.environ.get("REPRO_OBS", "").strip() not in ("", "0"):  # pragma: no cover
+# a worker started by an external scheduler).
+if env_enabled(os.environ.get("REPRO_OBS")):  # pragma: no cover
     enable()

@@ -1,0 +1,41 @@
+"""repro.service — census-as-a-service over shared mmap pages.
+
+The serving layer on top of the library: one graph, many concurrent
+readers, bounded tail latency.  Three planes, one per module:
+
+* :mod:`repro.service.protocol` — the NDJSON wire protocol (ops, error
+  vocabulary, framing limits);
+* :mod:`repro.service.workers` — the worker pool: N non-daemonic
+  processes, each mmap-opening the same PR 3 page directory read-only
+  and answering census/count/window/estimate jobs through the PR 5
+  plan cache, with death-detection, respawn and per-request timeouts;
+* :mod:`repro.service.server` — the asyncio front-end: admission
+  control with reject/degrade overflow policies (the load-shedding
+  continuation of ``StreamMatcher.shed``), server-side
+  :class:`~repro.online.OnlineCensus` push streams, and a ``stats`` op
+  merging the server registry with every worker's observability
+  snapshot;
+* :mod:`repro.service.client` — the blocking stdlib client.
+
+Start a server with ``python -m repro.experiments serve``, embed one
+with :func:`~repro.service.server.start_in_thread`, talk to one with
+:class:`~repro.service.client.ServiceClient`.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import MAX_LINE_BYTES, ProtocolError
+from repro.service.server import CensusServer, ServerHandle, serve_cli, start_in_thread
+from repro.service.workers import WorkerDied, WorkerPool
+
+__all__ = [
+    "CensusServer",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "ServerHandle",
+    "ServiceClient",
+    "ServiceError",
+    "WorkerDied",
+    "WorkerPool",
+    "serve_cli",
+    "start_in_thread",
+]

@@ -1,0 +1,146 @@
+"""A blocking, stdlib-only client for the census service.
+
+One :class:`ServiceClient` wraps one TCP connection speaking the
+:mod:`repro.service.protocol` NDJSON framing; requests are issued
+sequentially (responses come back in order), so a concurrent workload is
+N clients — exactly how :mod:`benchmarks.bench_service` drives the
+server from N threads.
+
+Every convenience method returns the response's ``result`` dict;
+failures raise :class:`ServiceError` carrying the wire error code (and
+``retry_after`` when the server shed the request)::
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    with ServiceClient("127.0.0.1", 8737) as client:
+        print(client.health()["status"])
+        counts = client.count(delta_w=3600.0)["codes"]
+        try:
+            client.census(delta_w=3600.0, jobs=2)
+        except ServiceError as err:
+            if err.code == "overloaded":
+                time.sleep(err.retry_after or 0.1)
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Iterable, Mapping
+
+from repro.service.protocol import MAX_LINE_BYTES
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service (or a broken connection)."""
+
+    def __init__(self, code: str, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """One connection to a running census server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = 120.0,
+        max_line: int = MAX_LINE_BYTES,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._fh = self._sock.makefile("rwb")
+        self._max_line = max_line
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, op: str, **params: Any) -> dict:
+        """Send one request; return the full response frame (``ok`` and all)."""
+        self._next_id += 1
+        request_id = self._next_id
+        payload = {"id": request_id, "op": op}
+        payload.update({k: v for k, v in params.items() if v is not None})
+        self._fh.write(json.dumps(payload, separators=(",", ":")).encode() + b"\n")
+        self._fh.flush()
+        line = self._fh.readline(self._max_line + 2)
+        if not line:
+            raise ServiceError("internal", "connection closed by server")
+        response = json.loads(line)
+        got = response.get("id")
+        if got is not None and got != request_id:
+            raise ServiceError(
+                "internal", f"response id {got!r} does not match request {request_id}"
+            )
+        return response
+
+    def call(self, op: str, **params: Any) -> dict:
+        """Send one request; return ``result`` or raise :class:`ServiceError`."""
+        response = self.request(op, **params)
+        if response.get("ok"):
+            return response["result"]
+        error: Mapping = response.get("error", {})
+        raise ServiceError(
+            error.get("code", "internal"),
+            error.get("message", "?"),
+            retry_after=error.get("retry_after"),
+        )
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def census(self, **params: Any) -> dict:
+        """Full census: ``codes``/``pairs``/``pair_groups``/``total``."""
+        return self.call("census", **params)
+
+    def count(self, **params: Any) -> dict:
+        """Per-code counts only."""
+        return self.call("count", **params)
+
+    def window(self, t_lo: float, t_hi: float, **params: Any) -> dict:
+        """Census restricted to the closed window ``[t_lo, t_hi]``."""
+        return self.call("window", t_lo=t_lo, t_hi=t_hi, **params)
+
+    def estimate(self, q: float, **params: Any) -> dict:
+        """Root-sampling approximate counts with per-code error bars."""
+        return self.call("estimate", q=q, **params)
+
+    def push(
+        self, events: Iterable[Iterable[float]], *, stream: str = "default", **params: Any
+    ) -> dict:
+        """Append events to a named server-side stream (see protocol docs)."""
+        return self.call(
+            "push", stream=stream, events=[list(ev) for ev in events], **params
+        )
+
+    def stream_close(self, stream: str = "default") -> dict:
+        return self.call("stream_close", stream=stream)
+
+    def stats(self, timeout: float | None = None) -> dict:
+        """Service counters + the merged server/worker metrics snapshot."""
+        return self.call("stats", timeout=timeout)
+
+    def health(self) -> dict:
+        return self.call("health")
+
+    def sleep(self, seconds: float) -> dict:
+        """Hold one worker for ``seconds`` (diagnostics/load drills)."""
+        return self.call("sleep", seconds=seconds)

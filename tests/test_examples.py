@@ -28,6 +28,13 @@ EXPECTED_OUTPUT = {
         "events/sec sustained",
         "final window, dominant motifs",
     ],
+    "census_service.py": [
+        "census service up",
+        "bit-identical to the serial run_census",
+        "concurrent window queries answered",
+        "push stream",
+        "server shut down cleanly",
+    ],
 }
 
 

@@ -410,3 +410,51 @@ class TestParallelMerge:
             [merge_snapshots(snaps[:2]), merge_snapshots(snaps[2:])]
         )
         assert grouped == direct
+
+
+# ----------------------------------------------------------------------
+# the REPRO_OBS environment opt-in
+# ----------------------------------------------------------------------
+class TestEnvOptIn:
+    """``REPRO_OBS`` falsy spellings must not enable the recorder.
+
+    Any-non-empty-is-truthy parsing once meant ``REPRO_OBS=false``
+    silently *enabled* observability; :func:`repro.obs.env_enabled` pins
+    the fixed semantics.
+    """
+
+    @pytest.mark.parametrize("value", [None, "", "0", "false", "no", "off"])
+    def test_falsy_values_stay_disabled(self, value):
+        assert obs.env_enabled(value) is False
+
+    @pytest.mark.parametrize(
+        "value", ["FALSE", "No", "OFF", " false ", "\t0\n", "  "]
+    )
+    def test_falsy_values_case_and_space_insensitive(self, value):
+        assert obs.env_enabled(value) is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "anything"])
+    def test_truthy_values_enable(self, value):
+        assert obs.env_enabled(value) is True
+
+    @pytest.mark.parametrize(
+        "value, expect", [("false", "False"), ("0", "False"), ("1", "True")]
+    )
+    def test_import_time_gate(self, value, expect):
+        """The import-time opt-in honors the parse (fresh interpreter)."""
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, REPRO_OBS=value)
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [sys.executable, "-c", "import repro.obs as o; print(o.enabled())"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            timeout=120,
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == expect
