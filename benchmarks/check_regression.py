@@ -158,6 +158,11 @@ def _regen_hint(benchmark: str) -> str:
         return "benchmarks/bench_engine.py --events 20000"
     if benchmark == "bench_service":
         return "benchmarks/bench_service.py --events 4000 --clients 4"
+    if benchmark == "bench_outofcore":
+        return (
+            "benchmarks/bench_outofcore.py --events 30000 "
+            "--partition-events 4096 --jobs 1 4"
+        )
     return "benchmarks/bench_storage.py --events 20000"
 
 

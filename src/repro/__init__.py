@@ -17,9 +17,19 @@ Package map:
   notation, event pairs, timing constraints;
 * :mod:`repro.storage` — pluggable index/query engines behind the graph
   facade: the :class:`~repro.storage.GraphStorage` contract, the
-  plain-list reference backend, and a columnar (flat ``array`` + CSR
-  offsets) backend; select per graph via ``backend=`` or globally via the
+  plain-list reference backend, a columnar (flat ``array`` + CSR
+  offsets) backend, the NumPy/mmap page backend, and the out-of-core
+  *partitioned* backend (:mod:`repro.storage.partitioned`: one page set
+  per time interval under a ``manifest.json``, partitions opened lazily
+  with an LRU-bounded resident set, censuses sharded partition-by-
+  partition so datasets larger than memory run under a fixed RSS
+  budget); select per graph via ``backend=`` or globally via the
   ``REPRO_STORAGE`` environment variable;
+* :mod:`repro.sources` — the one graph-source resolution API:
+  :func:`repro.sources.resolve` turns a registered dataset name, a flat
+  or partitioned page directory, an inline event list, or a wire spec
+  dict into a :class:`~repro.sources.GraphSource` that every consumer
+  (library, experiments CLI, census service) opens the same way;
 * :mod:`repro.engine` — the unified motif-execution engine: one
   compiled :class:`~repro.engine.ExecutionPlan`
   (:func:`~repro.engine.compile_plan`) per run plus per-backend
@@ -84,6 +94,8 @@ from repro.models import (
     SongModel,
 )
 from repro.online import OnlineCensus
+from repro.sources import GraphSource
+from repro import sources
 
 __version__ = "1.0.0"
 
@@ -92,6 +104,7 @@ __all__ = [
     "ConstraintRegime",
     "Event",
     "ExecutionPlan",
+    "GraphSource",
     "GraphStorage",
     "HulovatyyModel",
     "KovanenModel",
@@ -114,5 +127,6 @@ __all__ = [
     "get_dataset",
     "pair_sequence_of_code",
     "run_census",
+    "sources",
     "__version__",
 ]

@@ -32,6 +32,23 @@ def _parallel_jobs(jobs: int | None) -> int:
     return resolve_jobs(jobs)
 
 
+def _route_sharded(graph: TemporalGraph, jobs: int | None, roots_sorted: bool) -> bool:
+    """Whether a counting call goes through the sharded engine.
+
+    Two triggers: more than one worker (the classic parallel path), or a
+    storage backend that prefers sharded execution even serially — the
+    out-of-core partitioned directory, whose bounded-memory guarantee
+    depends on never entering the serial loop's whole-stream
+    materialization.  Sorted roots remain a precondition either way
+    (per-shard merges reproduce the serial order only then).
+    """
+    if not roots_sorted:
+        return False
+    if _parallel_jobs(jobs) > 1:
+        return True
+    return graph.storage.prefers_sharded_execution
+
+
 def _normalize_roots(roots: Iterable[int] | None) -> tuple[list[int] | None, bool]:
     """Materialize a roots iterable; report whether it is non-decreasing.
 
@@ -83,7 +100,7 @@ def count_motifs(
         see :func:`repro.engine.compile_plan`).
     """
     roots, roots_sorted = _normalize_roots(roots)
-    if roots_sorted and _parallel_jobs(jobs) > 1:
+    if _route_sharded(graph, jobs, roots_sorted):
         from repro.parallel import parallel_count_motifs
 
         return parallel_count_motifs(
@@ -134,7 +151,7 @@ def count_event_pairs(
     in 4-node motifs) are counted under ``None``.
     """
     roots, roots_sorted = _normalize_roots(roots)
-    if roots_sorted and _parallel_jobs(jobs) > 1:
+    if _route_sharded(graph, jobs, roots_sorted):
         from repro.parallel import parallel_count_event_pairs
 
         return parallel_count_event_pairs(
@@ -274,7 +291,7 @@ def run_census(
         see :func:`repro.engine.compile_plan`).
     """
     roots, roots_sorted = _normalize_roots(roots)
-    if roots_sorted and _parallel_jobs(jobs) > 1:
+    if _route_sharded(graph, jobs, roots_sorted):
         from repro.parallel import parallel_run_census
 
         return parallel_run_census(
@@ -356,7 +373,7 @@ def total_instances(
 ) -> int:
     """Total number of instances, without per-code bookkeeping."""
     roots, roots_sorted = _normalize_roots(roots)
-    if roots_sorted and _parallel_jobs(jobs) > 1:
+    if _route_sharded(graph, jobs, roots_sorted):
         from repro.parallel import parallel_total_instances
 
         return parallel_total_instances(

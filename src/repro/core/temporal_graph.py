@@ -234,15 +234,30 @@ class TemporalGraph:
     # ------------------------------------------------------------------
     # persistence (numpy page directory, mmap-loadable)
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path, *, partition_events: int | None = None) -> None:
         """Write this graph as a memory-mappable page directory.
 
-        The layout is the ``"numpy"`` backend's ``.npy`` page format
-        (columns + CSR index pages + ``meta.json``); graphs on any other
-        backend are converted on the way out.  Reopen with :meth:`load` —
-        with ``mmap=True`` a multi-million-event stream opens without
-        materializing the event list.  Requires NumPy.
+        With the default ``partition_events=None`` the layout is the flat
+        ``"numpy"`` backend ``.npy`` page format (columns + CSR index
+        pages + ``meta.json``); graphs on any other backend are converted
+        on the way out.  With ``partition_events=N`` the out-of-core
+        *partitioned* layout is written instead: one flat page set per
+        roughly-``N``-event time interval under a top-level
+        ``manifest.json`` (see :mod:`repro.storage.partitioned`), which
+        :meth:`load` reopens with a bounded resident set.  Either way the
+        graph's :attr:`name` round-trips through the manifest.  Requires
+        NumPy.
         """
+        if partition_events is not None:
+            from repro.storage.partitioned import write_partitioned
+
+            write_partitioned(
+                self._storage.iter_uvt(),
+                path,
+                partition_events=partition_events,
+                name=self.name,
+            )
+            return
         from repro.storage.numpy_backend import NumpyStorage
 
         storage = self._storage
@@ -252,17 +267,34 @@ class TemporalGraph:
 
     @classmethod
     def load(cls, path, *, mmap: bool = True, name: str | None = None) -> "TemporalGraph":
-        """Reopen a :meth:`save` page directory as a ``"numpy"``-backed graph.
+        """Reopen a :meth:`save` page directory, flat or partitioned.
 
-        With ``mmap=True`` (the default) every page is opened read-only
-        via ``np.load(..., mmap_mode="r")``: queries fault in only the
-        pages they touch, and appends land in an in-memory tail without
-        ever writing to the backing files.  ``name`` overrides the name
-        recorded in the directory's manifest.
+        The layout is auto-detected from the directory's manifest: a
+        top-level ``manifest.json`` opens as an out-of-core
+        :class:`~repro.storage.partitioned.PartitionedStorage` (lazily
+        mmap'd partitions, bounded resident set, read-only), a flat
+        ``meta.json`` page set opens as a ``"numpy"``-backed graph.  With
+        ``mmap=True`` (the default) pages are opened read-only via
+        ``np.load(..., mmap_mode="r")``: queries fault in only the pages
+        they touch, and — on the flat layout — appends land in an
+        in-memory tail without ever writing to the backing files.
+        ``name`` overrides the name recorded in the manifest.
+
+        This is the one open entry point; prefer it (or
+        :func:`repro.sources.resolve`) over calling the low-level
+        :func:`~repro.storage.numpy_backend.load_pages` /
+        :func:`~repro.storage.partitioned.load_partitioned` openers
+        directly — those remain for code that needs the raw storage plus
+        manifest, and know nothing about the other layout.
         """
-        from repro.storage.numpy_backend import load_pages
+        from repro.storage.partitioned import is_partitioned, load_partitioned
 
-        storage, meta = load_pages(path, mmap=mmap)
+        if is_partitioned(path):
+            storage, meta = load_partitioned(path, mmap=mmap)
+        else:
+            from repro.storage.numpy_backend import load_pages
+
+            storage, meta = load_pages(path, mmap=mmap)
         return cls._from_storage(
             storage, name=meta.get("name", "") if name is None else name
         )

@@ -31,12 +31,44 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help=(
-            "experiment id (e.g. table3, figure5), 'all', 'list', or "
-            "'serve' (run the census service; see --host/--port/--workers)"
+            "experiment id (e.g. table3, figure5), 'all', 'list', "
+            "'serve' (run the census service; see --host/--port/--workers), "
+            "or 'pages' (write a graph source to a page directory; see "
+            "--pages/--partition-events)"
         ),
     )
     add_experiment_options(parser)
     return parser
+
+
+def pages_cli(args) -> int:
+    """Write a resolvable graph source to a flat or partitioned page dir.
+
+    ``--datasets NAME`` (or any page-directory path) picks the source via
+    :func:`repro.sources.resolve`, ``--pages DIR`` is the output, and
+    ``--partition-events N`` switches from the flat PR 3 layout to the
+    out-of-core partitioned one.
+    """
+    from repro import sources
+
+    if not args.pages:
+        print("pages: --pages DIR (the output directory) is required",
+              file=sys.stderr)
+        return 2
+    spec = args.datasets[0] if args.datasets else "sms-copenhagen"
+    source = sources.resolve(spec, scale=args.scale)
+    graph = source.open()
+    graph.save(args.pages, partition_events=args.partition_events)
+    layout = (
+        f"partitioned (~{args.partition_events} events/partition)"
+        if args.partition_events
+        else "flat"
+    )
+    print(
+        f"wrote {len(graph)} events of {graph.name!r} "
+        f"({source.describe()}) to {args.pages} [{layout}]"
+    )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -45,6 +77,8 @@ def main(argv: list[str] | None = None) -> int:
         for eid, (_run, title) in EXPERIMENTS.items():
             print(f"{eid:10} {title}")
         print(f"{'serve':10} census service: concurrent query/stream server")
+        print(f"{'pages':10} write a graph source to a (flat or partitioned) "
+              "page directory")
         return 0
     if args.experiment == "serve":
         # Long-running foreground service, not an ExperimentResult —
@@ -52,6 +86,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.server import serve_cli
 
         return serve_cli(args)
+    if args.experiment == "pages":
+        return pages_cli(args)
     kwargs = run_kwargs(args)
     registry = None
     if args.stats or args.stats_json:

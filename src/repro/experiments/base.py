@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.temporal_graph import TemporalGraph
-from repro.datasets.registry import dataset_names, get_dataset
+from repro.datasets.registry import dataset_names
 
 #: Timing parameters used throughout Section 5, in seconds.
 DELTA_C_INDUCEDNESS = 1500.0  # Tables 3, 4, 6, 7
@@ -47,11 +47,19 @@ def load_graphs(
     scale: float = 1.0,
     default: Sequence[str] | None = None,
 ) -> list[TemporalGraph]:
-    """Materialize the requested datasets (or an experiment's default set)."""
+    """Materialize the requested graph sources.
+
+    Each entry resolves through :func:`repro.sources.resolve`, so beyond
+    registered dataset names a ``--datasets`` argument may name a flat or
+    partitioned page directory and the experiment runs over it directly
+    (out-of-core for the partitioned layout).
+    """
+    from repro.sources import resolve
+
     names = list(datasets) if datasets is not None else list(
         default if default is not None else dataset_names()
     )
-    return [get_dataset(name, scale=scale) for name in names]
+    return [resolve(name, scale=scale).open() for name in names]
 
 
 def ratio_label(ratio: float, n_events: int) -> str:

@@ -121,6 +121,19 @@ OPTION_SPECS: tuple[tuple[str, dict[str, Any]], ...] = (
         ),
     ),
     (
+        "--partition-events",
+        dict(
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "emit the out-of-core partitioned page layout with ~N events "
+                "per partition (the 'pages' command; default flat layout; "
+                "see TemporalGraph.save(partition_events=...))"
+            ),
+        ),
+    ),
+    (
         "--max-pending",
         dict(
             type=int,

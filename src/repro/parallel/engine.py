@@ -201,10 +201,15 @@ def _execute(
         plan = compile_plan(
             n_events, constraints, predicate, graph.storage, max_nodes=max_nodes
         )
+    # Out-of-core backends ask for at least one shard per partition
+    # (shard_count_hint) so each worker's rebuilt subgraph stays roughly
+    # one δ-overlapped partition wide; in-memory backends hint 0 and get
+    # the one-shard-per-worker plan as before.
+    n_shards = max(n_jobs, graph.storage.shard_count_hint())
     if plan.shard_safe and math.isfinite(plan.delta):
-        shards = plan_shards(graph, plan.delta, n_jobs)
+        shards = plan_shards(graph, plan.delta, n_shards)
     else:
-        shards = plan_root_shards(graph, n_jobs)
+        shards = plan_root_shards(graph, n_shards)
     storage = graph.storage
     rec = _obs.ACTIVE
     submitted = time.monotonic() if rec is not None else None

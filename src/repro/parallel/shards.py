@@ -30,7 +30,6 @@ maps shard-local event indices back to global ones, which is what
 
 from __future__ import annotations
 
-import bisect
 import math
 from dataclasses import dataclass
 from typing import Sequence
@@ -108,23 +107,28 @@ def plan_shards(graph: TemporalGraph, delta: float, n_shards: int) -> list[Shard
     n = max(1, min(int(n_shards), m))
     if n == 1 or not math.isfinite(delta):
         return [Shard(0, 0, m, 0, m)]
-    times = graph.times
+    # The δ-overlap rule runs against the storage's time-index seams
+    # (time_at / bisect_time_*): in-memory backends answer from their
+    # cached timestamp list exactly as before, while the partitioned
+    # backend answers at manifest resolution without ever materializing
+    # the stream — the same rule plans both layouts.
+    storage = graph.storage
     shards: list[Shard] = []
     for k in range(n):
         root_lo = (m * k) // n
         root_hi = (m * (k + 1)) // n
         if root_hi <= root_lo:
             continue
-        ev_lo = bisect.bisect_left(times, times[root_lo])
+        ev_lo = storage.bisect_time_left(storage.time_at(root_lo))
         # The serial enumerator chains per-step float deadlines
         # (t_last + delta_c at every extension), which can exceed the
         # single-sum bound t_root + delta by a few ulps of accumulated
         # rounding.  Widen the window by a generous ulp slack: extra
         # events in a shard are always harmless (anchors partition the
         # instances), missing events lose instances.
-        bound = times[root_hi - 1] + delta
+        bound = storage.time_at(root_hi - 1) + delta
         bound += 32 * math.ulp(bound)
-        ev_hi = max(root_hi, bisect.bisect_right(times, bound))
+        ev_hi = max(root_hi, storage.bisect_time_right(bound))
         shards.append(Shard(len(shards), root_lo, root_hi, ev_lo, ev_hi))
     return shards
 

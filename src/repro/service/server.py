@@ -176,30 +176,32 @@ class CensusServer:
     # source resolution
     # ------------------------------------------------------------------
     def _resolve_source(self) -> dict:
+        """Build the wire spec the worker pool will open.
+
+        All source-kind knowledge lives in :func:`repro.sources.resolve`
+        (this used to be a private copy of it); the one piece of policy
+        that stays here is *materialization*: a dataset served on a
+        NumPy build is generated once, paged out to a server-owned
+        temporary directory, and re-resolved as a page source — so every
+        worker mmaps the same read-only columns and the parent drops its
+        copy.  An explicit ``pages=`` directory may be flat or
+        partitioned; ``resolve`` sniffs the manifest.
+        """
+        from repro import sources
+
         req = self._requested
         if req["pages"] is not None:
-            return {"kind": "pages", "path": str(req["pages"])}
+            return sources.resolve(req["pages"]).spec()
         if req["events"] is not None:
-            return {
-                "kind": "events",
-                "events": [tuple(ev[:3]) for ev in req["events"]],
-            }
+            return sources.resolve(req["events"]).spec()
         name = req["dataset"] or "sms-copenhagen"
+        source = sources.resolve(name, scale=req["scale"], seed=req["seed"])
         if _numpy_available():
-            # Materialize once, page out, and let every worker mmap the
-            # same read-only columns — the parent drops its copy.
-            from repro.datasets.registry import get_dataset
-
-            graph = get_dataset(name, scale=req["scale"], seed=req["seed"])
+            graph = source.open()
             self._tmpdir = tempfile.TemporaryDirectory(prefix="census-pages-")
             graph.save(self._tmpdir.name)
-            return {"kind": "pages", "path": self._tmpdir.name}
-        return {
-            "kind": "dataset",
-            "name": name,
-            "scale": req["scale"],
-            "seed": req["seed"],
-        }
+            return sources.resolve(self._tmpdir.name).spec()
+        return source.spec()
 
     # ------------------------------------------------------------------
     # lifecycle

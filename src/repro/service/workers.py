@@ -64,32 +64,18 @@ class WorkerDied(RuntimeError):
 def open_graph_source(source: Mapping[str, Any]):
     """Open a graph-source spec (runs inside the worker process).
 
-    Kinds:
-
-    * ``{"kind": "pages", "path": ...}`` — mmap a PR 3 page directory
-      read-only (the shared, zero-copy production path);
-    * ``{"kind": "dataset", "name": ..., "scale": ..., "seed": ...}`` —
-      regenerate a registered dataset (deterministic, so every worker
-      builds the identical graph; the NumPy-less fallback path);
-    * ``{"kind": "events", "events": [...]}`` — build from an explicit
-      event list (tests and tiny deployments).
+    A thin veneer over :func:`repro.sources.resolve` — the one
+    source-resolution API — kept as the worker-side entry point.  The
+    specs the server ships are :meth:`repro.sources.GraphSource.spec`
+    wire dicts: ``"pages"`` / ``"partitioned"`` directories (mmap'd
+    read-only, shared across workers through the page cache),
+    ``"dataset"`` regeneration (deterministic from name/scale/seed, the
+    NumPy-less fallback), or inline ``"events"`` (tests and tiny
+    deployments).
     """
-    from repro.core.temporal_graph import TemporalGraph
+    from repro.sources import resolve
 
-    kind = source.get("kind")
-    if kind == "pages":
-        return TemporalGraph.load(source["path"], mmap=True)
-    if kind == "dataset":
-        from repro.datasets.registry import get_dataset
-
-        return get_dataset(
-            source["name"],
-            scale=source.get("scale", 1.0),
-            seed=source.get("seed"),
-        )
-    if kind == "events":
-        return TemporalGraph.from_tuples(source["events"])
-    raise ValueError(f"unknown graph source kind: {kind!r}")
+    return resolve(source).open(mmap=True)
 
 
 # ----------------------------------------------------------------------
@@ -100,9 +86,12 @@ def _window_view(graph, params: Mapping):
     t_hi = params.get("t_hi")
     if t_lo is None and t_hi is None:
         return graph
-    times = graph.times
-    lo = float(t_lo) if t_lo is not None else (times[0] if times else 0.0)
-    hi = float(t_hi) if t_hi is not None else (times[-1] if times else 0.0)
+    # Storage-level scalar bounds: O(1) on every backend, including the
+    # out-of-core partitioned one (graph.times would materialize it).
+    start = graph.storage.start_time
+    end = graph.storage.end_time
+    lo = float(t_lo) if t_lo is not None else (start if start is not None else 0.0)
+    hi = float(t_hi) if t_hi is not None else (end if end is not None else 0.0)
     if hi < lo:
         raise ProtocolError("bad_request", "t_hi must be >= t_lo")
     return graph.slice(lo, hi)
@@ -151,7 +140,7 @@ def _execute(graph, job: Mapping, registry) -> dict:
         return {"snapshot": registry.snapshot()}
     if op == "meta":
         return {
-            "events": len(graph.events),
+            "events": len(graph),
             "name": graph.name,
             "backend": graph.storage.backend_name,
             "pid": os.getpid(),

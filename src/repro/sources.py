@@ -1,0 +1,219 @@
+"""One resolution API for every way a graph reaches the library.
+
+Before PR 8 three code paths each knew how to turn "something" into a
+:class:`~repro.core.temporal_graph.TemporalGraph`: the facade's
+``load``, the experiments CLI's dataset registry lookup, and the census
+service's private source resolution.  :func:`resolve` replaces all
+three call sites with one rule set::
+
+    resolve("sms-copenhagen")          # registered dataset name
+    resolve("/data/pages")             # flat page directory (meta.json)
+    resolve("/data/parts")             # partitioned directory (manifest.json)
+    resolve([(0, 1, 10.0), ...])       # inline event list
+    resolve(graph)                     # an already-built TemporalGraph
+    resolve({"kind": "pages", ...})    # an explicit wire spec
+
+and returns a :class:`GraphSource` — a small, picklable description
+that can cross a process boundary as :meth:`GraphSource.spec` (the
+census service ships these to its worker processes) and materializes a
+graph on :meth:`GraphSource.open`.
+
+Kinds
+-----
+
+* ``"pages"`` — flat PR 3 page directory, opened memory-mapped;
+* ``"partitioned"`` — PR 8 partitioned directory, opened out-of-core
+  with a bounded resident set;
+* ``"dataset"`` — registered dataset name, regenerated deterministically
+  from ``(name, scale, seed)``;
+* ``"events"`` — inline event tuples (tests, tiny deployments);
+* ``"graph"`` — an in-process graph object (not wire-serializable as
+  such; :meth:`GraphSource.spec` degrades it to an ``"events"`` spec).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping
+
+from repro.core.temporal_graph import TemporalGraph
+
+__all__ = ["GraphSource", "resolve"]
+
+
+@dataclass(frozen=True)
+class GraphSource:
+    """A resolved, picklable description of where a graph comes from."""
+
+    kind: str
+    path: str | None = None
+    dataset: str | None = None
+    events: tuple = ()
+    name: str = ""
+    scale: float = 1.0
+    seed: int | None = None
+    graph: TemporalGraph | None = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    def open(self, *, mmap: bool = True) -> TemporalGraph:
+        """Materialize the graph this source describes.
+
+        ``mmap`` applies to the directory kinds (``"pages"`` /
+        ``"partitioned"``); the others build in memory.  A non-empty
+        :attr:`name` overrides whatever name the source itself records.
+        """
+        if self.kind == "graph":
+            return self.graph  # type: ignore[return-value]
+        if self.kind == "events":
+            return TemporalGraph.from_tuples(self.events, name=self.name)
+        if self.kind == "dataset":
+            from repro.datasets.registry import get_dataset
+
+            graph = get_dataset(self.dataset, scale=self.scale, seed=self.seed)
+            if self.name and self.name != graph.name:
+                graph = TemporalGraph._from_storage(graph.storage, name=self.name)
+            return graph
+        if self.kind in ("pages", "partitioned"):
+            return TemporalGraph.load(self.path, mmap=mmap, name=self.name or None)
+        raise ValueError(f"unknown graph source kind: {self.kind!r}")
+
+    # ------------------------------------------------------------------
+    def spec(self) -> dict:
+        """The wire form: a plain JSON-able dict that re-resolves remotely.
+
+        This is what the census service ships to its worker processes.
+        A ``"graph"`` source has no remote identity, so it degrades to an
+        ``"events"`` spec carrying the materialized tuples (and, unlike
+        the pre-PR 8 service copy of this logic, the graph's name).
+        """
+        if self.kind == "graph":
+            graph = self.graph
+            return {
+                "kind": "events",
+                "events": [(ev.u, ev.v, ev.t) for ev in graph.events],
+                "name": self.name or graph.name,
+            }
+        if self.kind == "events":
+            return {
+                "kind": "events",
+                "events": [tuple(ev[:3]) for ev in self.events],
+                "name": self.name,
+            }
+        if self.kind == "dataset":
+            return {
+                "kind": "dataset",
+                "name": self.dataset,
+                "scale": self.scale,
+                "seed": self.seed,
+            }
+        if self.kind in ("pages", "partitioned"):
+            out: dict = {"kind": self.kind, "path": self.path}
+            if self.name:
+                out["name"] = self.name
+            return out
+        raise ValueError(f"unknown graph source kind: {self.kind!r}")
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human summary (CLI banners, service logs)."""
+        if self.kind == "graph":
+            graph = self.graph
+            return f"graph {graph.name!r} ({len(graph)} events, in process)"
+        if self.kind == "events":
+            return f"{len(self.events)} inline events"
+        if self.kind == "dataset":
+            return f"dataset {self.dataset!r} (scale={self.scale}, seed={self.seed})"
+        return f"{self.kind} directory {self.path!r}"
+
+
+def _from_mapping(spec: Mapping[str, Any]) -> GraphSource:
+    kind = spec.get("kind")
+    if kind in ("pages", "partitioned"):
+        return GraphSource(
+            kind=kind, path=str(spec["path"]), name=spec.get("name", "")
+        )
+    if kind == "dataset":
+        return GraphSource(
+            kind="dataset",
+            dataset=spec["name"],
+            scale=spec.get("scale", 1.0),
+            seed=spec.get("seed"),
+        )
+    if kind == "events":
+        return GraphSource(
+            kind="events",
+            events=tuple(tuple(ev[:3]) for ev in spec["events"]),
+            name=spec.get("name", ""),
+        )
+    raise ValueError(f"unknown graph source kind: {kind!r}")
+
+
+def _from_path_or_dataset(text: str) -> GraphSource:
+    from repro.datasets.registry import dataset_names
+    from repro.storage.partitioned import MANIFEST_NAME, is_partitioned
+
+    if os.path.isdir(text):
+        if is_partitioned(text):
+            return GraphSource(kind="partitioned", path=text)
+        if os.path.exists(os.path.join(text, "meta.json")):
+            return GraphSource(kind="pages", path=text)
+        raise ValueError(
+            f"{text!r} is a directory but holds neither a flat page set "
+            f"(meta.json) nor a partitioned one ({MANIFEST_NAME})"
+        )
+    if text in dataset_names():
+        return GraphSource(kind="dataset", dataset=text)
+    known = ", ".join(dataset_names())
+    raise ValueError(
+        f"cannot resolve graph source {text!r}: not an existing page "
+        f"directory and not a registered dataset (known: {known})"
+    )
+
+
+def resolve(
+    spec,
+    *,
+    scale: float | None = None,
+    seed: int | None = None,
+    name: str | None = None,
+) -> GraphSource:
+    """Resolve anything graph-like into a :class:`GraphSource`.
+
+    Accepted forms, in match order:
+
+    * a :class:`GraphSource` (returned as-is, modulo overrides);
+    * a :class:`TemporalGraph` (wrapped as kind ``"graph"``);
+    * a mapping with a ``"kind"`` key (the service wire spec);
+    * a ``str`` / ``os.PathLike``: an existing directory is sniffed for
+      a partitioned ``manifest.json`` then a flat ``meta.json``;
+      otherwise the text must be a registered dataset name;
+    * any other iterable: treated as inline ``(u, v, t)`` event tuples.
+
+    ``scale`` and ``seed`` apply to dataset sources; ``name`` overrides
+    the graph name any source would otherwise carry.
+    """
+    if isinstance(spec, GraphSource):
+        source = spec
+    elif isinstance(spec, TemporalGraph):
+        source = GraphSource(kind="graph", graph=spec, name=spec.name)
+    elif isinstance(spec, Mapping):
+        source = _from_mapping(spec)
+    elif isinstance(spec, (str, os.PathLike)):
+        source = _from_path_or_dataset(os.fspath(spec))
+    elif isinstance(spec, Iterable):
+        source = GraphSource(
+            kind="events", events=tuple(tuple(ev[:3]) for ev in spec)
+        )
+    else:
+        raise TypeError(
+            f"cannot resolve a graph source from {type(spec).__name__!r}"
+        )
+    overrides: dict = {}
+    if scale is not None and source.kind == "dataset":
+        overrides["scale"] = scale
+    if seed is not None and source.kind == "dataset":
+        overrides["seed"] = seed
+    if name is not None:
+        overrides["name"] = name
+    return replace(source, **overrides) if overrides else source

@@ -16,6 +16,12 @@ backends register themselves here under a short name:
   (:meth:`~repro.storage.numpy_backend.NumpyStorage.save` /
   :meth:`~repro.storage.numpy_backend.NumpyStorage.load` over an
   ``.npy`` page directory).  Registered only when NumPy is importable.
+* ``"partitioned"`` — :class:`~repro.storage.partitioned.PartitionedStorage`,
+  the out-of-core engine: one flat page set per time interval under a
+  top-level ``manifest.json``, partitions opened lazily (``mmap_mode="r"``)
+  with an LRU-bounded resident set, and censuses routed through the
+  sharded engine so peak memory follows the largest δ-overlapped shard
+  rather than the stream.  Registered only when NumPy is importable.
 
 Selection order: an explicit ``backend=`` argument wins, then the
 ``REPRO_STORAGE`` environment variable (``REPRO_STORAGE=numpy`` turns the
@@ -39,6 +45,7 @@ from repro.storage.columnar import ColumnarStorage
 from repro.storage.list_backend import ListStorage
 from repro.storage.numpy_backend import NumpyStorage
 from repro.storage import numpy_backend as _numpy_backend
+from repro.storage.partitioned import PartitionedStorage, write_partitioned
 
 #: Environment variable consulted when no explicit backend is requested.
 ENV_VAR = "REPRO_STORAGE"
@@ -89,6 +96,7 @@ register_backend(ListStorage.backend_name, ListStorage)
 register_backend(ColumnarStorage.backend_name, ColumnarStorage)
 if _numpy_backend.available():
     register_backend(NumpyStorage.backend_name, NumpyStorage)
+    register_backend(PartitionedStorage.backend_name, PartitionedStorage)
 
 __all__ = [
     "ColumnarStorage",
@@ -97,6 +105,8 @@ __all__ = [
     "GraphStorage",
     "ListStorage",
     "NumpyStorage",
+    "PartitionedStorage",
+    "write_partitioned",
     "available_backends",
     "get_backend",
     "make_storage",

@@ -58,6 +58,20 @@ class GraphStorage(ABC):
     #: backend may advertise a kernel that only some builds provide.
     extension_kernel: ClassVar[str] = "generic"
 
+    #: When True, whole-graph census entry points route through the
+    #: sharded engine even at ``jobs=1``: the backend would rather run a
+    #: sequence of bounded shard rebuilds than let the serial loop
+    #: materialize its full event stream.  Out-of-core backends (the
+    #: partitioned page directory) set this; in-memory backends keep the
+    #: cheaper direct loop.
+    prefers_sharded_execution: ClassVar[bool] = False
+
+    #: Whether :meth:`append` is implemented.  Read-only engines (the
+    #: partitioned directory view, whose source of truth is on disk)
+    #: set this False; mutation-contract consumers (the online engine,
+    #: the append parity suite) skip them.
+    supports_append: ClassVar[bool] = True
+
     # ------------------------------------------------------------------
     # construction / conversion
     # ------------------------------------------------------------------
@@ -183,6 +197,33 @@ class GraphStorage(ABC):
         columns; the default unpacks the event records.
         """
         return iter(self.events)
+
+    # ------------------------------------------------------------------
+    # shard-planning seams (partition-aware planners go through these
+    # instead of materializing ``times``; the defaults delegate to the
+    # cached timestamp list, so in-memory backends behave as before)
+    # ------------------------------------------------------------------
+    def time_at(self, idx: int) -> float:
+        """Timestamp of the event at ``idx`` (supports negative indices)."""
+        return self.times[idx]
+
+    def bisect_time_left(self, t: float) -> int:
+        """First event index with timestamp ``>= t``."""
+        return bisect.bisect_left(self.times, t)
+
+    def bisect_time_right(self, t: float) -> int:
+        """First event index with timestamp ``> t``."""
+        return bisect.bisect_right(self.times, t)
+
+    def shard_count_hint(self) -> int:
+        """Minimum shard count this backend wants from the planner.
+
+        Zero means "no preference" (in-memory backends: one shard per
+        worker is ideal).  Partitioned storages return their partition
+        count so that each shard's δ-overlapped window stays roughly one
+        partition wide — the knob that bounds worker peak memory.
+        """
+        return 0
 
     # ------------------------------------------------------------------
     # windowed queries (the hot path of every restriction checker)

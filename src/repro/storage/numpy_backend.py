@@ -437,6 +437,28 @@ class NumpyStorage(GraphStorage):
             yield (ev.u, ev.v, ev.t)
 
     # ------------------------------------------------------------------
+    # shard-planning seams (column-native: no ``times`` list needed)
+    # ------------------------------------------------------------------
+    def time_at(self, idx: int) -> float:
+        if idx < 0:
+            idx += len(self)
+        if idx >= self._m:
+            return self._tail[idx - self._m].t
+        return float(self._t[idx])
+
+    def bisect_time_left(self, t: float) -> int:
+        lo = int(np.searchsorted(self._t, t, side="left"))
+        if lo == self._m and self._tail:
+            lo += bisect.bisect_left([ev.t for ev in self._tail], t)
+        return lo
+
+    def bisect_time_right(self, t: float) -> int:
+        hi = int(np.searchsorted(self._t, t, side="right"))
+        if hi == self._m and self._tail:
+            hi += bisect.bisect_right([ev.t for ev in self._tail], t)
+        return hi
+
+    # ------------------------------------------------------------------
     # point lookups
     # ------------------------------------------------------------------
     def node_event_indices(self, node: int) -> list[int]:

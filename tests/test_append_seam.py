@@ -25,7 +25,11 @@ from repro.core.events import Event
 from repro.core.temporal_graph import TemporalGraph
 from repro.storage import available_backends, get_backend
 
-BACKENDS = tuple(available_backends())
+# Only appendable engines are under contract here; read-only views
+# (the partitioned directory backend) opt out via supports_append.
+BACKENDS = tuple(
+    name for name in available_backends() if get_backend(name).supports_append
+)
 
 BASE = [
     Event(0, 1, 1.0),

@@ -1,0 +1,145 @@
+"""The unified graph-source resolution API (``repro.sources``, PR 8).
+
+One rule set turns anything graph-like — dataset names, flat or
+partitioned page directories, inline events, wire-spec dicts, live
+graphs — into a :class:`~repro.sources.GraphSource`.  The census
+service's workers, the experiments CLI and the library all resolve
+through it, so these tests double as the service's source-handling
+contract (including the name round-trip through the ``"events"`` wire
+spec, which the pre-PR 8 private service resolver dropped).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.temporal_graph import TemporalGraph
+from repro.sources import GraphSource, resolve
+
+TUPLES = [(0, 1, 10.0), (1, 2, 20.0), (0, 2, 25.0)]
+
+
+# ----------------------------------------------------------------------
+# resolution forms
+# ----------------------------------------------------------------------
+def test_resolve_dataset_name():
+    source = resolve("sms-copenhagen", scale=0.05, seed=7)
+    assert source.kind == "dataset"
+    assert source.dataset == "sms-copenhagen"
+    assert source.scale == 0.05 and source.seed == 7
+    assert "sms-copenhagen" in source.describe()
+
+
+def test_resolve_unknown_name_lists_datasets(tmp_path):
+    with pytest.raises(ValueError, match="sms-copenhagen"):
+        resolve("no-such-dataset")
+    # A directory that is neither layout is diagnosed, not misresolved.
+    with pytest.raises(ValueError, match="manifest.json"):
+        resolve(tmp_path)
+
+
+def test_resolve_rejects_unresolvable_types():
+    with pytest.raises(TypeError):
+        resolve(42)
+    with pytest.raises(ValueError, match="kind"):
+        resolve({"kind": "teapot"})
+    with pytest.raises(ValueError, match="kind"):
+        GraphSource(kind="teapot").spec()
+
+
+def test_resolve_inline_events():
+    source = resolve(TUPLES, name="inline")
+    assert source.kind == "events"
+    graph = source.open()
+    assert graph.name == "inline"
+    assert [(ev.u, ev.v, ev.t) for ev in graph.events] == TUPLES
+
+
+def test_resolve_graph_and_passthrough():
+    graph = TemporalGraph.from_tuples(TUPLES, name="mine")
+    source = resolve(graph)
+    assert source.kind == "graph"
+    assert source.open() is graph
+    assert resolve(source) is source
+    assert resolve(source, name="renamed").name == "renamed"
+
+
+def test_graph_spec_degrades_to_named_events():
+    # The satellite-3 regression: shipping an in-process graph over the
+    # wire (the service does this for inline sources) must keep its name.
+    graph = TemporalGraph.from_tuples(TUPLES, name="mine")
+    spec = resolve(graph).spec()
+    assert spec["kind"] == "events"
+    assert spec["name"] == "mine"
+    reopened = resolve(spec).open()
+    assert reopened.name == "mine"
+    assert list(reopened.events) == list(graph.events)
+
+
+def test_resolve_dataset_open_matches_registry():
+    pytest.importorskip("numpy", reason="dataset synthesis is numpy-seeded")
+    from repro.datasets.registry import get_dataset
+
+    graph = resolve("sms-copenhagen", scale=0.05).open()
+    oracle = get_dataset("sms-copenhagen", scale=0.05)
+    assert graph.name == oracle.name
+    assert list(graph.events) == list(oracle.events)
+    renamed = resolve("sms-copenhagen", scale=0.05, name="alias").open()
+    assert renamed.name == "alias"
+    assert list(renamed.events) == list(oracle.events)
+
+
+# ----------------------------------------------------------------------
+# directory sniffing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("partition_events", (None, 2))
+def test_resolve_page_directories(tmp_path, partition_events):
+    pytest.importorskip("numpy", reason="page directories require numpy")
+    graph = TemporalGraph.from_tuples(TUPLES, name="paged")
+    graph.save(tmp_path / "d", partition_events=partition_events)
+    source = resolve(tmp_path / "d")
+    assert source.kind == ("pages" if partition_events is None else "partitioned")
+    reopened = source.open()
+    assert reopened.name == "paged"
+    assert list(reopened.events) == list(graph.events)
+    assert source.describe().startswith(source.kind)
+
+
+# ----------------------------------------------------------------------
+# wire-spec round trips
+# ----------------------------------------------------------------------
+def test_spec_round_trips(tmp_path):
+    pytest.importorskip("numpy", reason="page directories require numpy")
+    TemporalGraph.from_tuples(TUPLES, name="paged").save(tmp_path / "d")
+    sources = [
+        resolve(TUPLES, name="inline"),
+        resolve("sms-copenhagen", scale=0.5, seed=3),
+        resolve(tmp_path / "d", name="alias"),
+    ]
+    for source in sources:
+        spec = source.spec()
+        assert resolve(spec).spec() == spec  # wire form is a fixed point
+
+
+def test_service_worker_resolves_through_sources():
+    # The service's worker-side entry point is a veneer over resolve().
+    from repro.service.workers import open_graph_source
+
+    graph = open_graph_source(
+        {"kind": "events", "events": TUPLES, "name": "wired"}
+    )
+    assert graph.name == "wired"
+    assert [(ev.u, ev.v, ev.t) for ev in graph.events] == TUPLES
+
+
+def test_load_graphs_accepts_page_dirs(tmp_path):
+    # The experiments CLI path: --datasets may name a page directory.
+    pytest.importorskip("numpy", reason="page directories require numpy")
+    from repro.experiments.base import load_graphs
+
+    TemporalGraph.from_tuples(TUPLES, name="paged").save(
+        tmp_path / "d", partition_events=2
+    )
+    graphs = load_graphs([str(tmp_path / "d")])
+    assert [g.name for g in graphs] == ["paged"]
+    assert [(ev.u, ev.v, ev.t) for ev in graphs[0].events] == TUPLES
