@@ -41,10 +41,14 @@ Package map:
   pattern matching (including
   :func:`~repro.algorithms.streaming.match_live` against a growing
   graph), cycles, sampling (``jobs=``-sharded estimators);
-* :mod:`repro.online` — the incremental sliding-window census engine
-  (:class:`~repro.online.OnlineCensus`): exact trailing-window motif
-  counts maintained per arriving event through the execution engine's
-  kernel, with page-directory checkpoints;
+* :mod:`repro.online` — the incremental sliding-window census engines:
+  :class:`~repro.online.MultiViewCensus` fans one arrival stream into
+  many concurrent views (heterogeneous window lengths, node-set slices,
+  restriction predicates — one shared graph tail, prefix store and
+  compiled kernel; views added/dropped live, degradable to sampling
+  estimates under load), and :class:`~repro.online.OnlineCensus` is its
+  single-view facade: exact trailing-window motif counts maintained per
+  arriving event, with page-directory checkpoints;
 * :mod:`repro.obs` — the observability layer: a process-local metrics
   registry (counters, gauges, mergeable log2-bucket histograms, spans)
   behind a null-recorder default (``repro.obs.enable()``, or the
@@ -93,7 +97,7 @@ from repro.models import (
     ParanjapeModel,
     SongModel,
 )
-from repro.online import OnlineCensus
+from repro.online import MultiViewCensus, OnlineCensus
 from repro.sources import GraphSource
 from repro import sources
 
@@ -111,6 +115,7 @@ __all__ = [
     "ListStorage",
     "Motif",
     "MotifCensus",
+    "MultiViewCensus",
     "OnlineCensus",
     "PairType",
     "ParanjapeModel",

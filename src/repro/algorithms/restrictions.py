@@ -57,6 +57,11 @@ def satisfies_consecutive_events(graph: TemporalGraph, instance: Instance) -> bo
 # Only consults events inside the instance's closed time window, which a
 # time shard always contains -> safe for the sharded parallel engine.
 satisfies_consecutive_events.shard_safe = True
+# A graph event at *exactly* a boundary timestamp counts as an
+# interruption, so on a stream with timestamp ties a same-tick arrival
+# after discovery can flip a committed verdict -> the online engines
+# warn when such a tie actually occurs.
+satisfies_consecutive_events.tick_boundary_sensitive = True
 
 
 def satisfies_cdg(graph: TemporalGraph, instance: Instance) -> bool:
@@ -83,6 +88,9 @@ def satisfies_cdg(graph: TemporalGraph, instance: Instance) -> bool:
 
 # Window-local for the same reason as the consecutive-events check.
 satisfies_cdg.shard_safe = True
+# Counts edge events in the closed [t1, t2] interval -> same boundary-tie
+# instability online as the consecutive-events check.
+satisfies_cdg.tick_boundary_sensitive = True
 
 
 def is_static_induced(
@@ -128,6 +136,12 @@ def is_static_induced(
     return True
 
 
+# The window scope judges events at the motif's boundary timestamps, so a
+# same-tick arrival can flip a verdict online, as above.  (The global
+# scope is not window-local at all and is unsuitable online regardless.)
+is_static_induced.tick_boundary_sensitive = True
+
+
 def combine(*predicates):
     """AND-combine restriction predicates into a single enumerator filter.
 
@@ -141,5 +155,9 @@ def combine(*predicates):
 
     combined.shard_safe = all(
         getattr(pred, "shard_safe", False) for pred in predicates
+    )
+    # One tie-unstable component makes the conjunction tie-unstable.
+    combined.tick_boundary_sensitive = any(
+        getattr(pred, "tick_boundary_sensitive", False) for pred in predicates
     )
     return combined

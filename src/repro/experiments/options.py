@@ -63,6 +63,19 @@ OPTION_SPECS: tuple[tuple[str, dict[str, Any]], ...] = (
         ),
     ),
     (
+        "--windows",
+        dict(
+            default=None,
+            metavar="W1,W2,...",
+            help=(
+                "comma-separated window lengths for a multi-view stream "
+                "replay: one shared MultiViewCensus engine maintains every "
+                "window at once (the 'stream' experiment; overrides "
+                "--window when given)"
+            ),
+        ),
+    ),
+    (
         "--jobs",
         dict(
             type=int,
@@ -186,7 +199,7 @@ OPTION_SPECS: tuple[tuple[str, dict[str, Any]], ...] = (
 #: Options forwarded to experiment ``run`` callables.  ``stats`` and
 #: ``stats_json`` are harness-level (they configure the registry around
 #: the run, not the experiment itself).
-RUN_KWARG_NAMES: tuple[str, ...] = ("scale", "datasets", "window", "jobs")
+RUN_KWARG_NAMES: tuple[str, ...] = ("scale", "datasets", "window", "windows", "jobs")
 
 
 def _dest(flag: str) -> str:

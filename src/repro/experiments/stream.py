@@ -8,6 +8,13 @@ rolling motif mix, and cross-check the final window against a batch
 ``slice_time`` window (the engine's core invariant)::
 
     python -m repro.experiments stream --window 12000
+
+With ``--windows W1,W2,...`` the replay goes through one shared
+:class:`~repro.online.MultiViewCensus` engine instead — every window
+maintained at once over a single graph tail, prefix store and compiled
+kernel — and the batch cross-check runs per view::
+
+    python -m repro.experiments stream --windows 3000,12000,48000
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ def run(
     *,
     scale: float = 1.0,
     window: float = DEFAULT_WINDOW,
+    windows: str | Iterable[float] | None = None,
     delta_c: float = DELTA_C_INDUCEDNESS,
     delta_w: float = DELTA_W_TIMING,
     n_events: int = 3,
@@ -55,6 +63,16 @@ def run(
 
     constraints = TimingConstraints(delta_c=delta_c, delta_w=delta_w)
     graphs = load_graphs(datasets, scale=scale, default=DEFAULT_DATASETS)
+    multi = _parse_windows(windows)
+    if multi is not None:
+        return _run_multiview(
+            graphs,
+            multi,
+            constraints,
+            n_events=n_events,
+            max_nodes=max_nodes,
+            prune_every=prune_every,
+        )
     sections: list[str] = [
         f"Online census replay: {n_events}-event motifs, "
         f"{constraints.describe()}, trailing window W={window:g}s"
@@ -159,6 +177,115 @@ def run(
         text="\n".join(sections),
         data=data,
         notes=notes,
+    )
+
+
+def _parse_windows(windows: str | Iterable[float] | None) -> list[float] | None:
+    """Normalize the ``--windows W1,W2,...`` option to a float list."""
+    if windows is None:
+        return None
+    if isinstance(windows, str):
+        parts = [part.strip() for part in windows.split(",") if part.strip()]
+    else:
+        parts = list(windows)
+    if not parts:
+        raise ValueError("--windows needs at least one window length")
+    try:
+        values = [float(part) for part in parts]
+    except (TypeError, ValueError):
+        raise ValueError(f"--windows must be numbers, got {windows!r}") from None
+    return values
+
+
+def _run_multiview(
+    graphs,
+    windows: list[float],
+    constraints: TimingConstraints,
+    *,
+    n_events: int,
+    max_nodes: int | None,
+    prune_every: int | None,
+) -> ExperimentResult:
+    """Replay each dataset through one shared multi-view engine."""
+    from repro.online import MultiViewCensus
+
+    sections: list[str] = [
+        f"Multi-view online replay: {n_events}-event motifs, "
+        f"{constraints.describe()}, {len(windows)} concurrent windows "
+        f"({', '.join(f'{w:g}s' for w in windows)}) over one shared engine"
+    ]
+    data: dict[str, dict] = {}
+    for graph in graphs:
+        engine = MultiViewCensus(
+            n_events,
+            constraints,
+            max(windows),
+            max_nodes=max_nodes,
+            backend=graph.backend,
+            prune_every=prune_every,
+        )
+        names = []
+        for i, w in enumerate(windows):
+            name = f"W{w:g}" if windows.count(w) == 1 else f"W{w:g}#{i}"
+            engine.add_view(name, w)
+            names.append(name)
+        started = time.perf_counter()
+        for event in graph.events:
+            engine.push(event)
+        seconds = time.perf_counter() - started
+        rate = len(graph) / seconds if seconds > 0 else float("inf")
+
+        lines = [
+            f"\n{graph.name}: {fmt_count(len(graph))} events through "
+            f"{len(names)} views in {seconds:.2f}s ({fmt_count(rate)} events/s), "
+            f"retained tail {fmt_count(len(engine.graph))} events"
+        ]
+        views_data: dict[str, dict] = {}
+        all_parity = True
+        for name in names:
+            view_census = engine.census(name)
+            window = engine.describe()["views"][name]["window"]
+            batch = run_census(
+                graph.slice(engine.now - window, engine.now),
+                n_events,
+                constraints,
+                max_nodes=max_nodes,
+            )
+            parity = (
+                view_census.code_counts == batch.code_counts
+                and view_census.total == batch.total
+            )
+            all_parity = all_parity and parity
+            lines.append(
+                f"  view {name}: {fmt_count(view_census.total)} live instances, "
+                f"parity vs batch recount: {'ok' if parity else 'MISMATCH'}"
+            )
+            views_data[name] = {
+                "window": window,
+                "final_total": view_census.total,
+                "final_counts": dict(view_census.code_counts),
+                "parity": parity,
+            }
+        sections.append("\n".join(lines))
+        data[graph.name] = {
+            "events": len(graph),
+            "seconds": seconds,
+            "events_per_sec": rate,
+            "windows": list(windows),
+            "views": views_data,
+            "parity": all_parity,
+        }
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text="\n".join(sections),
+        data=data,
+        notes=[
+            "All windows share one graph tail, prefix store and compiled "
+            "kernel (MultiViewCensus); each view's final counters are "
+            "cross-checked against an independent batch run_census of the "
+            "matching slice_time window.",
+        ],
     )
 
 

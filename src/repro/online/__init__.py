@@ -14,6 +14,14 @@ each event arrives instead of re-running
   a node-bucketed store of live prefixes, so per-event cost tracks local
   activity, never history; instances whose anchor event slides out of
   the window retire through a monotone expiry heap.
+* :class:`~repro.online.multiview.MultiViewCensus` — the multi-view
+  generalization: one shared core (graph tail, prefix store, compiled
+  kernel, discovery ledger) fans each ``push`` into many registered
+  views — heterogeneous window lengths, node-set slices, restriction
+  predicates — each owning only counters and an anchor-keyed expiry
+  heap, with ``add_view``/``drop_view`` live on a running stream and
+  per-view degradation to the sampling estimators under load.
+  :class:`OnlineCensus` is its single-view facade.
 * :mod:`~repro.online.checkpoint` — page-directory checkpoints
   (:meth:`OnlineCensus.snapshot` / :meth:`OnlineCensus.restore`) built on
   the ``"numpy"`` backend's mmap persistence; restore regrows the prefix
@@ -23,10 +31,13 @@ each event arrives instead of re-running
 
 The engine's core invariant — counts at time *t* equal a batch census of
 ``slice_time(t - W, t)`` — is enforced push-by-push by the differential
-property suite in ``tests/test_online.py`` on every storage backend.
+property suite in ``tests/test_online.py`` on every storage backend, and
+its multi-view extension — every view bit-identical to an independent
+single-window engine after every push — by ``tests/test_multiview.py``.
 """
 
 from repro.online.census import OnlineCensus
 from repro.online.checkpoint import load_checkpoint, save_checkpoint
+from repro.online.multiview import MultiViewCensus
 
-__all__ = ["OnlineCensus", "load_checkpoint", "save_checkpoint"]
+__all__ = ["MultiViewCensus", "OnlineCensus", "load_checkpoint", "save_checkpoint"]

@@ -54,7 +54,6 @@ floating-point never loses an instance at a boundary.
 from __future__ import annotations
 
 import bisect
-import heapq
 import math
 import time
 from collections import Counter
@@ -62,13 +61,11 @@ from typing import Callable, Iterable, Iterator
 
 import repro.obs as _obs
 from repro.algorithms.counting import MotifCensus
-from repro.algorithms.enumeration import Instance, enumerate_instances
+from repro.algorithms.enumeration import Instance
 from repro.core.constraints import TimingConstraints
-from repro.core.eventpairs import classify_pair
 from repro.core.events import Event
-from repro.core.notation import canonical_code
 from repro.core.temporal_graph import TemporalGraph
-from repro.engine import compile_plan
+from repro.online.multiview import MultiViewCensus
 
 Predicate = Callable[[TemporalGraph, Instance], bool]
 
@@ -224,7 +221,10 @@ class OnlineCensus:
         consecutive-events restriction counts an event at *exactly* a
         boundary timestamp as an interruption) satisfy (b) only on
         tie-free streams: a same-tick event arriving after discovery
-        could flip an already committed verdict.
+        could flip an already committed verdict.  Predicates carrying a
+        truthy ``tick_boundary_sensitive`` attribute (the library's own
+        restrictions mark themselves) raise a :class:`RuntimeWarning`
+        once if the stream actually produces a timestamp tie.
     backend:
         Storage backend for the internal live graph (``None`` = the
         ``REPRO_STORAGE`` env var, then the library default).
@@ -241,6 +241,12 @@ class OnlineCensus:
     so index ``i`` always refers to the ``i``-th pushed event (plus any
     restored history).  Resolve them against :attr:`graph` only before
     the next prune.
+
+    Since the multi-view refactor (PR 9) this class is a facade over a
+    single-view :class:`repro.online.multiview.MultiViewCensus` with
+    ``retention == window`` — there is exactly one implementation of
+    the push/expire/prune arithmetic, and the facade's counters are the
+    solo view's counters.
     """
 
     def __init__(
@@ -258,44 +264,27 @@ class OnlineCensus:
             raise ValueError("n_events must be >= 1")
         if not (window > 0 and math.isfinite(window)):
             raise ValueError("window must be positive and finite")
-        if prune_every is not None and prune_every < 1:
-            raise ValueError("prune_every must be a positive event count (or None)")
         self._n_events = n_events
         self._constraints = constraints
         self._window = float(window)
         self._max_nodes = max_nodes
-        self._node_cap = n_events + 1 if max_nodes is None else max_nodes
         self._predicate = predicate
         self._prune_every = prune_every
-        self._delta = constraints.loose_timespan_bound(n_events) if n_events > 1 else 0.0
-        bounds = [
-            b
-            for b in (constraints.delta_c, constraints.delta_w, self._window)
-            if b is not None
-        ]
-        self._prefixes = _PrefixStore(min(bounds))
-        self._graph = TemporalGraph((), backend=backend)
-        # The execution engine owns the extension-admission arithmetic:
-        # arrivals extend prefixes through the plan's kernel, exactly as
-        # the batch enumerator extends its frontier.  (The engine's own
-        # predicate stays None — the online predicate needs the offset
-        # translation in _count.)
-        self._plan = compile_plan(
-            n_events, constraints, None, self._graph.storage, max_nodes=max_nodes
+        self._mv = MultiViewCensus(
+            n_events,
+            constraints,
+            self._window,
+            max_nodes=max_nodes,
+            backend=backend,
+            prune_every=prune_every,
         )
-        self._bind_kernel()
-        self._offset = 0  # global index of the retained graph's event 0
-        self._now: float | None = None
-        self._code_counts: Counter = Counter()
-        self._pair_counts: Counter = Counter()
-        self._pair_seq_counts: Counter = Counter()
-        self._total = 0
-        self._pushed = 0
-        self._discovered = 0
-        self._expired = 0
-        self._since_prune = 0
-        self._seq = 0  # heap tiebreaker (payloads are not comparable)
-        self._heap: list[tuple[float, int, str, tuple]] = []
+        self._view = self._mv.add_view(
+            "__solo__", self._window, predicate=predicate, backfill=False
+        )
+        # The facade's push returns the solo view's accepted instances,
+        # so the view collects them per arrival.
+        self._view.collect = True
+        self._mv._collecting.append(self._view)
         # The observability recorder binds at construction (the null-
         # recorder contract): enable repro.obs before building the engine
         # you want to watch.  Disabled cost: one ``is None`` per push.
@@ -307,7 +296,7 @@ class OnlineCensus:
     @property
     def graph(self) -> TemporalGraph:
         """The internal live graph (the *retained tail* after pruning)."""
-        return self._graph
+        return self._mv._graph
 
     @property
     def n_events(self) -> int:
@@ -324,32 +313,32 @@ class OnlineCensus:
     @property
     def now(self) -> float | None:
         """The stream clock: the latest pushed (or advanced-to) time."""
-        return self._now
+        return self._mv._now
 
     @property
     def pushed(self) -> int:
         """Total events pushed over the engine's lifetime."""
-        return self._pushed
+        return self._mv._pushed
 
     @property
     def discovered(self) -> int:
         """Total instances ever counted (monotone; expiry never lowers it)."""
-        return self._discovered
+        return self._view.discovered
 
     @property
     def expired(self) -> int:
         """Instances retired because their anchor slid out of the window."""
-        return self._expired
+        return self._view.expired
 
     @property
     def live_instances(self) -> int:
         """Instances currently inside the window (== ``census().total``)."""
-        return self._total
+        return self._view.total
 
     @property
     def live_prefixes(self) -> int:
         """Prefixes the store currently retains (a memory gauge)."""
-        return len(self._prefixes)
+        return len(self._mv._prefixes)
 
     # ------------------------------------------------------------------
     # the stream interface
@@ -364,94 +353,20 @@ class OnlineCensus:
         the predicate are neither counted nor returned.
         """
         rec = self._obs
+        mv = self._mv
+        view = self._view
         if rec is None:
-            return self._push(event)
+            mv._push(event)
+            return view.just_counted
         start = time.perf_counter()
-        out = self._push(event)
+        mv._push(event)
+        out = view.just_counted
         rec.observe("online.push.seconds", time.perf_counter() - start)
         if out:
             rec.inc("online.push.instances", len(out))
-        rec.set_gauge("online.prefix_store.entries", self._prefixes.entries)
-        rec.set_gauge("online.expiry_heap.depth", len(self._heap))
+        rec.set_gauge("online.prefix_store.entries", mv._prefixes.entries)
+        rec.set_gauge("online.expiry_heap.depth", len(view.heap))
         return out
-
-    def _push(self, event: Event | tuple) -> list[Instance]:
-        ev = event if isinstance(event, Event) else Event(*event)
-        if self._now is not None and ev.t < self._now:
-            raise ValueError(
-                f"push requires non-decreasing times: got t={ev.t} "
-                f"after the stream clock reached t={self._now}"
-            )
-        local = self._graph.append(ev)
-        gidx = local + self._offset
-        t_a = ev.t
-        self._now = t_a
-        self._pushed += 1
-        horizon = t_a - self._window
-        self._expire(horizon)
-
-        out: list[Instance] = []
-        k = self._n_events
-        if k == 1:
-            if self._count((gidx,), (ev.edge,), t_a):
-                out.append((gidx,))
-        else:
-            u, v = ev.u, ev.v
-            completions: list[tuple[Instance, tuple, float]] = []
-            candidates = self._prefixes.candidates(u, v, t_a)
-            # The engine kernel's event-major admission: strictly later
-            # than the prefix's last event, at or before its chained
-            # deadline, within the node cap — the exact arithmetic the
-            # batch enumerator runs, in its only implementation.
-            for pos, _idx, new_nodes in self._kernel.extend_frontier(
-                candidates, local, local + 1
-            ):
-                prefix = candidates[pos]
-                if prefix.t_root < horizon:
-                    # Anchored before the window: the horizon only moves
-                    # forward, so nothing grown from this prefix can ever
-                    # be counted.
-                    continue
-                seq = prefix.seq + (gidx,)
-                edges = prefix.edges + (ev.edge,)
-                if len(seq) == k:
-                    completions.append((seq, edges, prefix.t_root))
-                else:
-                    self._prefixes.add(
-                        _Prefix(seq, edges, new_nodes, prefix.t_root, t_a)
-                    )
-            completions.sort(key=lambda item: item[0])
-            for seq, edges, t_root in completions:
-                if self._count(seq, edges, t_root):
-                    out.append(seq)
-            self._prefixes.add(_Prefix((gidx,), (ev.edge,), (u, v), t_a, t_a))
-            self._prefixes.maybe_sweep(t_a)
-
-        self._since_prune += 1
-        if self._prune_every is not None and self._since_prune >= self._prune_every:
-            self.prune()
-        return out
-
-    def _count(self, seq: Instance, edges: tuple, anchor_t: float) -> bool:
-        """Run the predicate, then fold one completed instance in."""
-        if self._predicate is not None:
-            offset = self._offset
-            local_inst = tuple(i - offset for i in seq)
-            if not self._predicate(self._graph, local_inst):
-                return False
-        code = canonical_code(edges)
-        pair_seq = tuple(
-            classify_pair(edges[j], edges[j + 1]) for j in range(len(edges) - 1)
-        )
-        self._code_counts[code] += 1
-        for ptype in pair_seq:
-            self._pair_counts[ptype] += 1
-        self._pair_seq_counts[pair_seq] += 1
-        self._total += 1
-        self._discovered += 1
-        heapq.heappush(self._heap, (anchor_t, self._seq, code, pair_seq))
-        self._seq += 1
-        return True
 
     def drain(self, events: Iterable[Event | tuple]) -> Iterator[tuple[int, list[Instance]]]:
         """Push a whole (time-sorted) stream lazily.
@@ -459,8 +374,9 @@ class OnlineCensus:
         Yields ``(global_event_index, new_instances)`` per arrival,
         mirroring :func:`repro.algorithms.streaming.match_live`.
         """
+        mv = self._mv
         for event in events:
-            idx = self._offset + len(self._graph)
+            idx = mv._offset + len(mv._graph)
             yield idx, self.push(event)
 
     def advance_to(self, now: float) -> int:
@@ -469,21 +385,16 @@ class OnlineCensus:
         Returns the number of instances retired.  Subsequent pushes must
         not predate ``now`` (the window never moves backward).
         """
-        if self._now is not None and now < self._now:
-            raise ValueError(
-                f"cannot advance backward: clock is at t={self._now}, got t={now}"
-            )
-        self._now = now
-        before = self._expired
-        self._expire(now - self._window)
-        return self._expired - before
+        before = self._view.expired
+        self._mv.advance_to(now)
+        return self._view.expired - before
 
     # ------------------------------------------------------------------
     # counters
     # ------------------------------------------------------------------
     def counts(self) -> Counter:
         """Per-code instance counts for the current window (a copy)."""
-        return Counter(self._code_counts)
+        return Counter(self._view.code_counts)
 
     def census(self) -> MotifCensus:
         """The window's counters as a :class:`MotifCensus` snapshot.
@@ -494,13 +405,14 @@ class OnlineCensus:
         positions) are batch-only — their caps depend on enumeration
         order — and stay empty here.
         """
+        view = self._view
         return MotifCensus(
             n_events=self._n_events,
             constraints=self._constraints,
-            code_counts=Counter(self._code_counts),
-            pair_counts=Counter(self._pair_counts),
-            pair_sequence_counts=Counter(self._pair_seq_counts),
-            total=self._total,
+            code_counts=Counter(view.code_counts),
+            pair_counts=Counter(view.pair_counts),
+            pair_sequence_counts=Counter(view.pair_seq_counts),
+            total=view.total,
         )
 
     def proportions(self) -> dict[str, float]:
@@ -524,43 +436,7 @@ class OnlineCensus:
         references), and global event indices stay stable via the rebase
         offset.
         """
-        rec = self._obs
-        if rec is None:
-            return self._prune()
-        start = time.perf_counter()
-        dropped = self._prune()
-        rec.observe("online.prune.seconds", time.perf_counter() - start)
-        if dropped:
-            rec.inc("online.prune.dropped", dropped)
-            rec.inc("online.prune.rebases")
-        return dropped
-
-    def _prune(self) -> int:
-        if self._now is None:
-            return 0
-        reach = self._delta if self._delta <= self._window else self._window
-        cutoff = self._now - reach
-        if math.isfinite(cutoff):
-            cutoff -= _PRUNE_SLACK * math.ulp(abs(cutoff) + 1.0)
-        storage = self._graph.storage
-        kept = storage.slice_time(cutoff, math.inf).to_events()
-        dropped = len(storage) - len(kept)
-        self._since_prune = 0
-        if dropped <= 0:
-            return 0
-        rebuilt = type(storage).from_events(kept, presorted=True)
-        self._graph = TemporalGraph._from_storage(rebuilt, name=self._graph.name)
-        self._bind_kernel()
-        self._offset += dropped
-        return dropped
-
-    def _bind_kernel(self) -> None:
-        """(Re)bind the plan's extension kernel to the current live graph.
-
-        Called whenever the retained storage object changes: engine
-        construction, :meth:`prune` rebases, checkpoint restores.
-        """
-        self._kernel = self._plan.bind(self._graph.storage)
+        return self._mv.prune()
 
     # ------------------------------------------------------------------
     # checkpoints (numpy page persistence; see repro.online.checkpoint)
@@ -597,89 +473,113 @@ class OnlineCensus:
             path, backend=backend, predicate=predicate, prune_every=prune_every
         )
 
+    # ------------------------------------------------------------------
+    # internals delegated to the shared core (checkpoint + observability
+    # helpers reach these; keep their shapes stable)
+    # ------------------------------------------------------------------
+    @property
+    def _graph(self) -> TemporalGraph:
+        return self._mv._graph
+
+    @_graph.setter
+    def _graph(self, graph: TemporalGraph) -> None:
+        self._mv._graph = graph
+
+    @property
+    def _prefixes(self) -> _PrefixStore:
+        return self._mv._prefixes
+
+    @property
+    def _heap(self) -> list:
+        return self._view.heap
+
+    @_heap.setter
+    def _heap(self, heap: list) -> None:
+        view = self._view
+        view.heap = heap
+        view.wake_t = None
+        if heap:
+            self._mv._schedule_wake(view)
+
+    @property
+    def _offset(self) -> int:
+        return self._mv._offset
+
+    @_offset.setter
+    def _offset(self, value: int) -> None:
+        self._mv._offset = value
+
+    @property
+    def _now(self) -> float | None:
+        return self._mv._now
+
+    @_now.setter
+    def _now(self, value: float | None) -> None:
+        self._mv._now = value
+        self._mv._last_event_t = value
+
+    @property
+    def _pushed(self) -> int:
+        return self._mv._pushed
+
+    @_pushed.setter
+    def _pushed(self, value: int) -> None:
+        self._mv._pushed = value
+
+    @property
+    def _discovered(self) -> int:
+        return self._view.discovered
+
+    @_discovered.setter
+    def _discovered(self, value: int) -> None:
+        self._view.discovered = value
+        self._mv._discovered = value
+
+    @property
+    def _expired(self) -> int:
+        return self._view.expired
+
+    @_expired.setter
+    def _expired(self, value: int) -> None:
+        self._view.expired = value
+
+    @property
+    def _total(self) -> int:
+        return self._view.total
+
+    @_total.setter
+    def _total(self, value: int) -> None:
+        self._view.total = value
+
+    @property
+    def _seq(self) -> int:
+        return self._mv._seq
+
+    @_seq.setter
+    def _seq(self, value: int) -> None:
+        self._mv._seq = value
+
+    @property
+    def _code_counts(self) -> Counter:
+        return self._view.code_counts
+
+    @property
+    def _pair_counts(self) -> Counter:
+        return self._view.pair_counts
+
+    @property
+    def _pair_seq_counts(self) -> Counter:
+        return self._view.pair_seq_counts
+
+    def _bind_kernel(self) -> None:
+        self._mv._bind_kernel()
+
     def _rebuild_prefixes(self) -> None:
-        """Regrow the prefix store from the retained tail (restore path).
-
-        A live prefix is nothing but a small instance — a ``j``-event
-        instance for ``j < n_events`` — whose chained deadline has not
-        passed and whose anchor is still inside the window, so the batch
-        enumerator (and therefore the storage contract's
-        ``adjacent_events_between`` candidate seam) re-derives the store
-        exactly from the graph tail a checkpoint carries.
-        """
-        if self._n_events == 1 or self._now is None:
-            return
-        graph = self._graph
-        now = self._now
-        horizon = now - self._window
-        event_at = graph.storage.event_at
-        offset = self._offset
-        rebuilt: list[_Prefix] = []
-        for j in range(1, self._n_events):
-            for inst in enumerate_instances(
-                graph, j, self._constraints, max_nodes=self._node_cap
-            ):
-                first = event_at(inst[0])
-                last = event_at(inst[-1])
-                if first.t < horizon:
-                    continue
-                if now > self._constraints.next_event_deadline(first.t, last.t):
-                    continue
-                edges = tuple(event_at(i).edge for i in inst)
-                nodes: tuple[int, ...] = ()
-                for idx in inst:
-                    ev = event_at(idx)
-                    for n in (ev.u, ev.v):
-                        if n not in nodes:
-                            nodes = nodes + (n,)
-                rebuilt.append(
-                    _Prefix(
-                        tuple(i + offset for i in inst),
-                        edges,
-                        nodes,
-                        first.t,
-                        last.t,
-                    )
-                )
-        # Buckets bisect on non-decreasing t_last (live insertion is in
-        # arrival order); restore must re-install in the same order.
-        rebuilt.sort(key=lambda p: (p.t_last, p.seq))
-        for prefix in rebuilt:
-            self._prefixes.add(prefix)
-        self._prefixes._sweep_clock = now
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-    def _expire(self, horizon: float) -> None:
-        """Retire every instance whose anchor fell below ``horizon``.
-
-        Strictly-below: an anchor at exactly ``now - W`` is still inside
-        the closed window, matching ``slice_time``'s ``bisect_left``.
-        """
-        heap = self._heap
-        retired = 0
-        while heap and heap[0][0] < horizon:
-            _t, _n, code, pair_seq = heapq.heappop(heap)
-            retired += 1
-            self._code_counts[code] -= 1
-            if not self._code_counts[code]:
-                del self._code_counts[code]
-            for ptype in pair_seq:
-                self._pair_counts[ptype] -= 1
-                if not self._pair_counts[ptype]:
-                    del self._pair_counts[ptype]
-            self._pair_seq_counts[pair_seq] -= 1
-            if not self._pair_seq_counts[pair_seq]:
-                del self._pair_seq_counts[pair_seq]
-            self._total -= 1
-            self._expired += 1
-        if retired and self._obs is not None:
-            self._obs.inc("online.expire.retired", retired)
+        self._mv._rebuild_prefixes()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<OnlineCensus {self._n_events}-event "
             f"{self._constraints.describe()} W={self._window:g}: "
-            f"{self._total} live instances, {self._pushed} events pushed>"
+            f"{self._view.total} live instances, {self._mv._pushed} events pushed>"
         )

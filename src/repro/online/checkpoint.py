@@ -31,6 +31,7 @@ from repro.core.constraints import TimingConstraints
 from repro.core.eventpairs import PairType
 from repro.core.temporal_graph import TemporalGraph
 from repro.online.census import OnlineCensus, Predicate
+from repro.online.multiview import _LedgerEntry
 
 #: ``state.json`` manifest identifier / version of the checkpoint layout.
 CHECKPOINT_FORMAT = "repro-online-census"
@@ -53,8 +54,12 @@ def save_checkpoint(census: OnlineCensus, path: str | os.PathLike) -> None:
     os.makedirs(path, exist_ok=True)
     census._graph.save(os.path.join(path, GRAPH_DIR))
     ledger = [
-        [anchor_t, code, [None if p is None else p.value for p in pair_seq]]
-        for anchor_t, _seq, code, pair_seq in sorted(census._heap)
+        [
+            anchor_t,
+            entry.code,
+            [None if p is None else p.value for p in entry.pair_seq],
+        ]
+        for anchor_t, _seq, entry in sorted(census._heap)
     ]
     state = {
         "format": CHECKPOINT_FORMAT,
@@ -148,10 +153,14 @@ def load_checkpoint(
     census._pushed = state["pushed"]
     census._discovered = state["discovered"]
     census._expired = state["expired"]
-    heap: list[tuple[float, int, str, tuple]] = []
+    heap: list[tuple[float, int, _LedgerEntry]] = []
     for seq_no, (anchor_t, code, pair_values) in enumerate(state["ledger"]):
         pair_seq = tuple(None if p is None else PairType(p) for p in pair_values)
-        heap.append((anchor_t, seq_no, code, pair_seq))
+        # The node tuple and event indices are fan-out-time data (sliced-
+        # view routing, predicate re-evaluation); a restored solo engine
+        # never re-folds these entries, so they stay empty.
+        entry = _LedgerEntry(anchor_t, seq_no, code, pair_seq, (), anchor_t, ())
+        heap.append((anchor_t, seq_no, entry))
         census._code_counts[code] += 1
         for ptype in pair_seq:
             census._pair_counts[ptype] += 1

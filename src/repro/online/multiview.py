@@ -1,0 +1,986 @@
+"""Multi-view online serving: many trailing windows over one stream.
+
+:class:`MultiViewCensus` generalizes the single-window
+:class:`~repro.online.census.OnlineCensus` to *thousands* of concurrent
+views over one arrival stream.  The expensive state is paid once,
+shared by every view:
+
+* the retained **graph tail** (storage-backend append path + prune
+  rebase, exactly as in the single-view engine),
+* the node-bucketed **prefix store** of live partial instances,
+* the compiled **plan/kernel** pair from :mod:`repro.engine`, and
+* the **ledger** — a retention-bounded min-heap of every discovered
+  instance (anchor time, canonical code, pair sequence, node set) that
+  lets a view registered mid-stream backfill its counters instead of
+  starting cold.
+
+Per-view state is deliberately thin: three counters, an anchor-time
+expiry heap of *references* into the shared ledger entries, and a
+scheduled wake time.  One ``push(event)`` therefore runs discovery once
+and fans each completed instance out to the views that accept it:
+
+* **plain window views** differ only in their window length ``W``; they
+  are kept sorted by ``W`` descending so the fan-out loop stops at the
+  first view whose window no longer reaches the instance's anchor;
+* **node-sliced views** (``nodes=``) count only instances whose node
+  set lies inside the view's node set; a node -> views index routes
+  each instance to the few views watching its nodes, so ten tenants or
+  a thousand cost the same when their node sets are disjoint;
+* **restricted views** (``predicate=``) apply their restriction at
+  discovery time against the shared graph, with the same
+  offset-translation and stability caveats as the single-view engine.
+
+Expiry is *scheduled*, not polled: each view with live instances owns
+one entry in a global wake heap keyed by the earliest time its oldest
+anchor can leave its window, so a push touches only the views that
+actually have something to retire — idle views cost nothing per event.
+Wake times are widened down by the library's standard ulp slack and the
+exact ``anchor < now - W`` comparison is re-run on fire, so the
+floating-point shortcut can fire early (a no-op re-check) but never
+late; the per-view insert/expire sequence — and therefore the counter
+*key order* — stays bit-identical to an independent ``OnlineCensus``.
+
+``retention`` bounds everything: it is the largest window any view may
+use, the prefix store's gap bound and the ledger's horizon.  Pass
+``math.inf`` for an unbounded ledger (every view added later backfills
+to exact from-start parity, at the price of unbounded memory).
+
+Views can be **degraded** under load (:meth:`degrade_view`): a degraded
+view leaves the exact fan-out path entirely and answers
+:meth:`view_counts` with the PR 5 root-sampling estimator over the
+window slice, with per-code Horvitz–Thompson ``stderr`` bars — the same
+shape the census service's overflow policy produces for queries.
+
+:class:`~repro.online.census.OnlineCensus` is now a facade over a
+single-view ``MultiViewCensus`` with ``retention == window``, so there
+is exactly one implementation of the push/expire/prune arithmetic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+import warnings
+from collections import Counter
+from typing import Callable, Iterable, Iterator
+
+import repro.obs as _obs
+from repro.algorithms.counting import MotifCensus
+from repro.algorithms.enumeration import Instance, enumerate_instances
+from repro.core.constraints import TimingConstraints
+from repro.core.eventpairs import classify_pair
+from repro.core.events import Event
+from repro.core.notation import canonical_code
+from repro.core.temporal_graph import TemporalGraph
+from repro.engine import compile_plan
+
+Predicate = Callable[[TemporalGraph, Instance], bool]
+
+__all__ = ["MultiViewCensus"]
+
+
+class _LedgerEntry:
+    """One discovered instance, shared between the ledger and view heaps.
+
+    Self-contained (anchor/last timestamps, canonical code, pair
+    sequence, node tuple, global event indices) so views never resolve
+    anything against the graph.  Heaps hold ``(anchor_t, seq, entry)``
+    triples — the unique ``seq`` tiebreak keeps ordering at C tuple
+    speed and the entry itself out of every comparison.
+    """
+
+    __slots__ = ("anchor_t", "seq", "code", "pair_seq", "nodes", "t_last", "events")
+
+    def __init__(self, anchor_t, seq, code, pair_seq, nodes, t_last, events) -> None:
+        self.anchor_t = anchor_t
+        self.seq = seq
+        self.code = code
+        self.pair_seq = pair_seq
+        self.nodes = nodes
+        self.t_last = t_last
+        self.events = events
+
+
+#: The heap element shape shared by the ledger and every view's heap.
+_HeapItem = tuple[float, int, _LedgerEntry]
+
+
+class _ViewState:
+    """Counters + expiry heap: everything one registered view owns."""
+
+    __slots__ = (
+        "name",
+        "window",
+        "predicate",
+        "nodes",
+        "vseq",
+        "mode",
+        "q",
+        "seed",
+        "code_counts",
+        "pair_counts",
+        "pair_seq_counts",
+        "total",
+        "discovered",
+        "expired",
+        "heap",
+        "wake_t",
+        "dropped",
+        "collect",
+        "just_counted",
+    )
+
+    def __init__(self, name, window, predicate, nodes, vseq) -> None:
+        self.name = name
+        self.window = window
+        self.predicate = predicate
+        self.nodes = nodes
+        self.vseq = vseq
+        self.mode = "exact"
+        self.q: float | None = None
+        self.seed: int | None = None
+        self.code_counts: Counter = Counter()
+        self.pair_counts: Counter = Counter()
+        self.pair_seq_counts: Counter = Counter()
+        self.total = 0
+        self.discovered = 0
+        self.expired = 0
+        self.heap: list[_HeapItem] = []
+        self.wake_t: float | None = None
+        self.dropped = False
+        self.collect = False
+        self.just_counted: list[Instance] = []
+
+
+class MultiViewCensus:
+    """Exact trailing-window motif counts for many views over one stream.
+
+    Parameters
+    ----------
+    n_events:
+        Events per motif instance, shared by every view.
+    constraints:
+        ΔC / ΔW timing bounds, shared by every view.
+    retention:
+        The largest window any view may use, and how long discovered
+        instances stay in the backfill ledger.  ``math.inf`` keeps the
+        ledger unbounded.
+    max_nodes:
+        Optional distinct-node cap per instance, shared by every view.
+    backend / prune_every:
+        As on :class:`~repro.online.census.OnlineCensus`; pruning uses
+        the reach ``min(δ, retention)``.
+    registry:
+        Metrics registry to record into (``None`` = the process-global
+        :data:`repro.obs.ACTIVE` recorder at construction time).  The
+        census service passes its own server registry here so stream
+        metrics surface in ``stats``.
+
+    Notes
+    -----
+    Views sharing one engine must share ``(n_events, constraints,
+    max_nodes)`` — those parameters shape the prefix store and the
+    compiled kernel.  Views differ in window length, node slice and
+    restriction predicate, and can be added or dropped live
+    (:meth:`add_view` / :meth:`drop_view`).
+    """
+
+    def __init__(
+        self,
+        n_events: int,
+        constraints: TimingConstraints,
+        retention: float,
+        *,
+        max_nodes: int | None = None,
+        backend: str | None = None,
+        prune_every: int | None = None,
+        registry=None,
+    ) -> None:
+        # Local import: census.py imports this module's class for the
+        # facade, so the store helpers are pulled lazily to keep the
+        # module import order a plain DAG at call time.
+        from repro.online.census import _PrefixStore
+
+        if n_events < 1:
+            raise ValueError("n_events must be >= 1")
+        if not (retention > 0) or math.isnan(retention):
+            raise ValueError("retention must be positive (math.inf = unbounded)")
+        if prune_every is not None and prune_every < 1:
+            raise ValueError("prune_every must be a positive event count (or None)")
+        self._n_events = n_events
+        self._constraints = constraints
+        self._retention = float(retention)
+        self._max_nodes = max_nodes
+        self._node_cap = n_events + 1 if max_nodes is None else max_nodes
+        self._prune_every = prune_every
+        self._delta = constraints.loose_timespan_bound(n_events) if n_events > 1 else 0.0
+        bounds = [
+            b
+            for b in (constraints.delta_c, constraints.delta_w, self._retention)
+            if b is not None and math.isfinite(b)
+        ]
+        self._prefixes = _PrefixStore(min(bounds) if bounds else math.inf)
+        self._graph = TemporalGraph((), backend=backend)
+        self._plan = compile_plan(
+            n_events, constraints, None, self._graph.storage, max_nodes=max_nodes
+        )
+        self._bind_kernel()
+        self._offset = 0
+        self._now: float | None = None
+        self._last_event_t: float | None = None
+        self._saw_tie = False
+        self._pushed = 0
+        self._discovered = 0
+        self._since_prune = 0
+        self._seq = 0
+        self._ledger: list[_HeapItem] = []
+        self._retired = 0
+        self._unwarned_sensitive: list[_ViewState] = []
+        # View registries: every view by name, the plain (unsliced)
+        # exact views sorted by window descending for the early-exit
+        # fan-out loop, and the node -> sliced-views routing index.
+        self._views: dict[str, _ViewState] = {}
+        self._flat: list[_ViewState] = []
+        self._node_index: dict[int, list[_ViewState]] = {}
+        self._collecting: list[_ViewState] = []
+        self._vseq = 0
+        # The global wake heap: (wake_t, view.vseq, view) — one live
+        # entry per view with instances, plus harmless stale entries
+        # invalidated by the view's own wake_t.
+        self._wake: list[tuple[float, int, _ViewState]] = []
+        self._obs = registry if registry is not None else _obs.ACTIVE
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> TemporalGraph:
+        """The shared live graph (the retained tail after pruning)."""
+        return self._graph
+
+    @property
+    def n_events(self) -> int:
+        return self._n_events
+
+    @property
+    def constraints(self) -> TimingConstraints:
+        return self._constraints
+
+    @property
+    def retention(self) -> float:
+        """Upper bound on view windows == the ledger horizon."""
+        return self._retention
+
+    @property
+    def now(self) -> float | None:
+        return self._now
+
+    @property
+    def pushed(self) -> int:
+        return self._pushed
+
+    @property
+    def discovered(self) -> int:
+        """Instances ever discovered by the shared core (view-independent)."""
+        return self._discovered
+
+    @property
+    def live_prefixes(self) -> int:
+        return len(self._prefixes)
+
+    @property
+    def ledger_depth(self) -> int:
+        """Discovered instances still inside the retention horizon."""
+        return len(self._ledger)
+
+    def view_names(self) -> tuple[str, ...]:
+        """Registered view names, in registration order."""
+        return tuple(self._views)
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    # ------------------------------------------------------------------
+    # view lifecycle
+    # ------------------------------------------------------------------
+    def add_view(
+        self,
+        name: str,
+        window: float,
+        *,
+        predicate: Predicate | None = None,
+        nodes: Iterable[int] | None = None,
+        backfill: bool = True,
+    ) -> _ViewState:
+        """Register a view; live on a running stream.
+
+        Parameters
+        ----------
+        window:
+            The view's trailing-window length; must not exceed
+            ``retention``.
+        predicate:
+            Optional restriction, same contract as the single-view
+            engine's.  Predicate views cannot backfill (the verdict must
+            run at discovery time, against the graph as it then was) —
+            pass ``backfill=False`` explicitly to start one cold.
+        nodes:
+            Optional node slice: the view counts only instances whose
+            node set is contained in this set.
+        backfill:
+            Replay the retained ledger through the new view so its
+            counters match an engine that watched the stream from the
+            start (exactly, for anchors inside the retention horizon).
+            ``False`` starts the view empty, counting only instances
+            discovered after registration.
+
+        Returns the view's state record (counters are live references —
+        read them through :meth:`counts` / :meth:`view_counts`).
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError("view name must be a non-empty string")
+        if name in self._views:
+            raise ValueError(f"view {name!r} already registered")
+        if not (window > 0 and math.isfinite(window)):
+            raise ValueError("window must be positive and finite")
+        if window > self._retention:
+            raise ValueError(
+                f"view window {window!r} exceeds the engine retention "
+                f"{self._retention!r}; raise retention at construction"
+            )
+        if predicate is not None and backfill:
+            raise ValueError(
+                "restriction predicates run at discovery time and cannot be "
+                "applied to already-discovered ledger entries; pass "
+                "backfill=False to start a restricted view cold"
+            )
+        node_set = None if nodes is None else frozenset(nodes)
+        view = _ViewState(name, float(window), predicate, node_set, self._vseq)
+        self._vseq += 1
+        self._views[name] = view
+        if node_set is None:
+            self._flat.append(view)
+            self._flat.sort(key=lambda v: (-v.window, v.vseq))
+        else:
+            for node in node_set:
+                self._node_index.setdefault(node, []).append(view)
+        if predicate is not None and getattr(
+            predicate, "tick_boundary_sensitive", False
+        ):
+            if self._saw_tie:
+                self._warn_ties(view)
+            else:
+                self._unwarned_sensitive.append(view)
+        if backfill and self._ledger:
+            self._backfill(view)
+        rec = self._obs
+        if rec is not None:
+            rec.inc("online.view.added")
+            rec.set_gauge("online.view.live", len(self._views))
+        return view
+
+    def drop_view(self, name: str) -> bool:
+        """Unregister a view; returns whether it existed."""
+        view = self._views.pop(name, None)
+        if view is None:
+            return False
+        view.dropped = True
+        self._unroute(view)
+        if view in self._collecting:
+            self._collecting.remove(view)
+        rec = self._obs
+        if rec is not None:
+            rec.inc("online.view.dropped")
+            rec.set_gauge("online.view.live", len(self._views))
+        return True
+
+    def degrade_view(self, name: str, *, q: float = 0.25, seed: int | None = None) -> None:
+        """Switch a view to sampling-estimate mode (overload degradation).
+
+        The view leaves the exact fan-out path entirely — its counters
+        and expiry heap are released — and :meth:`view_counts` answers
+        with the root-sampling estimator over the current window slice,
+        with per-code Horvitz–Thompson standard errors.  Requires NumPy
+        at read time.  A degraded view's restriction predicate (if any)
+        is *not* applied to estimates.  Degradation is one-way; drop and
+        re-add the view to return to exact counting.
+        """
+        view = self._require_view(name)
+        if view.mode == "estimate":
+            view.q = float(q)
+            view.seed = seed
+            return
+        if not 0 < q <= 1:
+            raise ValueError("q must be in (0, 1]")
+        view.mode = "estimate"
+        view.q = float(q)
+        view.seed = seed
+        view.code_counts.clear()
+        view.pair_counts.clear()
+        view.pair_seq_counts.clear()
+        view.total = 0
+        view.heap = []
+        view.wake_t = None
+        self._unroute(view)
+        rec = self._obs
+        if rec is not None:
+            rec.inc("online.view.degraded")
+
+    def _unroute(self, view: _ViewState) -> None:
+        """Remove a view from the fan-out structures (drop/degrade)."""
+        if view.nodes is None:
+            if view in self._flat:
+                self._flat.remove(view)
+        else:
+            for node in view.nodes:
+                routed = self._node_index.get(node)
+                if routed is not None:
+                    routed.remove(view)
+                    if not routed:
+                        del self._node_index[node]
+
+    def _require_view(self, name: str) -> _ViewState:
+        view = self._views.get(name)
+        if view is None:
+            raise KeyError(f"no view named {name!r} (have: {list(self._views)})")
+        return view
+
+    def _backfill(self, view: _ViewState) -> None:
+        """Replay the retained ledger through a newly registered view.
+
+        Entries are replayed in discovery order with the expiry horizon
+        interleaved at each entry's completion time — the exact
+        insert/expire sequence a from-start engine would have run over
+        these entries, so counts (and, when no live code's history
+        predates the retention horizon, counter key order too) match an
+        independent :class:`OnlineCensus` of the same window.
+        """
+        window = view.window
+        nodes = view.nodes
+        for _t, _s, entry in sorted(self._ledger, key=lambda item: item[1]):
+            if nodes is not None and not nodes.issuperset(entry.nodes):
+                continue
+            horizon = entry.t_last - window
+            self._expire_view(view, horizon)
+            if entry.anchor_t < horizon:
+                continue
+            self._fold(view, entry)
+        if self._now is not None:
+            self._expire_view(view, self._now - window)
+        if view.heap:
+            self._schedule_wake(view)
+
+    # ------------------------------------------------------------------
+    # the stream interface
+    # ------------------------------------------------------------------
+    def push(self, event: Event | tuple) -> list[Instance]:
+        """Feed one arrival to every view; return the new core instances.
+
+        The returned instances are global event-index tuples of every
+        instance the shared core discovered (before any per-view window
+        /slice/predicate filtering); per-view acceptance shows up in the
+        views' counters.
+        """
+        rec = self._obs
+        if rec is None:
+            return self._push(event)
+        start = time.perf_counter()
+        out = self._push(event)
+        rec.observe("online.multiview.push.seconds", time.perf_counter() - start)
+        if out:
+            rec.inc("online.multiview.push.instances", len(out))
+        rec.set_gauge("online.prefix_store.entries", self._prefixes.entries)
+        rec.set_gauge("online.multiview.ledger.depth", len(self._ledger))
+        return out
+
+    def _push(self, event: Event | tuple) -> list[Instance]:
+        ev = event if isinstance(event, Event) else Event(*event)
+        if self._now is not None and ev.t < self._now:
+            raise ValueError(
+                f"push requires non-decreasing times: got t={ev.t} "
+                f"after the stream clock reached t={self._now}"
+            )
+        local = self._graph.append(ev)
+        gidx = local + self._offset
+        t_a = ev.t
+        if t_a == self._last_event_t:
+            self._note_tie()
+        self._last_event_t = t_a
+        self._now = t_a
+        self._pushed += 1
+        self._retire_ledger(t_a - self._retention)
+        self._run_wakes(t_a)
+        for view in self._collecting:
+            view.just_counted = []
+
+        out: list[Instance] = []
+        k = self._n_events
+        core_horizon = t_a - self._retention
+        completions: list[tuple[Instance, tuple, float, tuple]] = []
+        if k == 1:
+            completions.append(((gidx,), (ev.edge,), t_a, (ev.u, ev.v)))
+        else:
+            u, v = ev.u, ev.v
+            from repro.online.census import _Prefix
+
+            candidates = self._prefixes.candidates(u, v, t_a)
+            for pos, _idx, new_nodes in self._kernel.extend_frontier(
+                candidates, local, local + 1
+            ):
+                prefix = candidates[pos]
+                if prefix.t_root < core_horizon:
+                    # Anchored before every window any view may hold:
+                    # nothing grown from this prefix can ever be counted.
+                    continue
+                seq = prefix.seq + (gidx,)
+                edges = prefix.edges + (ev.edge,)
+                if len(seq) == k:
+                    completions.append((seq, edges, prefix.t_root, new_nodes))
+                else:
+                    self._prefixes.add(
+                        _Prefix(seq, edges, new_nodes, prefix.t_root, t_a)
+                    )
+            completions.sort(key=lambda item: item[0])
+        if completions:
+            self._count_completions(completions, t_a, out)
+        if k > 1:
+            from repro.online.census import _Prefix
+
+            self._prefixes.add(
+                _Prefix((gidx,), (ev.edge,), (ev.u, ev.v), t_a, t_a)
+            )
+            self._prefixes.maybe_sweep(t_a)
+
+        self._since_prune += 1
+        if self._prune_every is not None and self._since_prune >= self._prune_every:
+            self.prune()
+        return out
+
+    def _count_completions(self, completions, t_a: float, out: list) -> None:
+        """Build ledger entries for this push's completions and fan out."""
+        flat = self._flat
+        # One horizon per plain view, computed once per completing push
+        # with the same ``now - W`` subtraction the expiry path uses.
+        horizons = [t_a - view.window for view in flat]
+        node_index = self._node_index
+        ledger = self._ledger
+        for seq, edges, t_root, nodes in completions:
+            code = canonical_code(edges)
+            pair_seq = tuple(
+                classify_pair(edges[j], edges[j + 1]) for j in range(len(edges) - 1)
+            )
+            entry = _LedgerEntry(t_root, self._seq, code, pair_seq, nodes, t_a, seq)
+            self._seq += 1
+            self._discovered += 1
+            heapq.heappush(ledger, (t_root, entry.seq, entry))
+            out.append(seq)
+            for i, view in enumerate(flat):
+                if t_root < horizons[i]:
+                    # Views are sorted by window descending, so every
+                    # remaining window is shorter and rejects too.
+                    break
+                self._fold(view, entry)
+            if node_index:
+                routed = self._route_sliced(nodes)
+                for view in routed:
+                    if t_root < t_a - view.window:
+                        continue
+                    self._fold(view, entry)
+
+    def _route_sliced(self, nodes: tuple) -> list[_ViewState]:
+        """Sliced views whose node set covers every node of the instance."""
+        index = self._node_index
+        candidates = index.get(nodes[0])
+        if not candidates:
+            return ()
+        if len(nodes) == 1:
+            return candidates
+        out = [
+            view
+            for view in candidates
+            if view.nodes.issuperset(nodes)
+        ]
+        return out
+
+    def _fold(self, view: _ViewState, entry: _LedgerEntry) -> None:
+        """Count one accepted instance into one view."""
+        if view.predicate is not None:
+            offset = self._offset
+            local_inst = tuple(i - offset for i in entry.events)
+            if not view.predicate(self._graph, local_inst):
+                return
+        view.code_counts[entry.code] += 1
+        pair_counts = view.pair_counts
+        for ptype in entry.pair_seq:
+            pair_counts[ptype] += 1
+        view.pair_seq_counts[entry.pair_seq] += 1
+        view.total += 1
+        view.discovered += 1
+        item = (entry.anchor_t, entry.seq, entry)
+        heapq.heappush(view.heap, item)
+        if view.heap[0] is item or view.wake_t is None:
+            self._schedule_wake(view)
+        if view.collect:
+            view.just_counted.append(entry.events)
+
+    def advance_to(self, now: float) -> int:
+        """Move the stream clock forward without an event; expire views.
+
+        Returns the total instances retired across all views.
+        """
+        if self._now is not None and now < self._now:
+            raise ValueError(
+                f"cannot advance backward: clock is at t={self._now}, got t={now}"
+            )
+        self._now = now
+        before = sum(view.expired for view in self._views.values())
+        self._retire_ledger(now - self._retention)
+        self._run_wakes(now)
+        return sum(view.expired for view in self._views.values()) - before
+
+    def drain(
+        self, events: Iterable[Event | tuple]
+    ) -> Iterator[tuple[int, list[Instance]]]:
+        """Push a whole (time-sorted) stream lazily, as ``(index, new)``."""
+        for event in events:
+            idx = self._offset + len(self._graph)
+            yield idx, self.push(event)
+
+    # ------------------------------------------------------------------
+    # expiry: the scheduled wake heap
+    # ------------------------------------------------------------------
+    def _schedule_wake(self, view: _ViewState) -> None:
+        """(Re)arm the view's wake at its oldest anchor's earliest exit.
+
+        The wake time is widened *down* by the library's ulp slack so
+        floating point can only make a wake early (a cheap no-op
+        re-check), never late — lateness would reorder the per-view
+        insert/expire sequence against a single-view engine.
+        """
+        from repro.online.census import _widen_down
+
+        wake = _widen_down(view.heap[0][0] + view.window)
+        if view.wake_t is not None and view.wake_t <= wake:
+            return
+        view.wake_t = wake
+        heapq.heappush(self._wake, (wake, view.vseq, view))
+
+    def _run_wakes(self, now: float) -> None:
+        """Expire every view whose scheduled wake has come due."""
+        wake_heap = self._wake
+        if not wake_heap or wake_heap[0][0] > now:
+            return
+        resched: list[_ViewState] = []
+        while wake_heap and wake_heap[0][0] <= now:
+            wake, _vseq, view = heapq.heappop(wake_heap)
+            if view.dropped or view.wake_t != wake:
+                continue
+            view.wake_t = None
+            self._expire_view(view, now - view.window)
+            if view.heap:
+                resched.append(view)
+        for view in resched:
+            if not view.dropped and view.heap:
+                self._schedule_wake(view)
+
+    def _expire_view(self, view: _ViewState, horizon: float) -> None:
+        """Retire the view's instances anchored strictly below ``horizon``."""
+        heap = view.heap
+        retired = 0
+        code_counts = view.code_counts
+        pair_counts = view.pair_counts
+        pair_seq_counts = view.pair_seq_counts
+        while heap and heap[0][0] < horizon:
+            entry = heapq.heappop(heap)[2]
+            retired += 1
+            code_counts[entry.code] -= 1
+            if not code_counts[entry.code]:
+                del code_counts[entry.code]
+            for ptype in entry.pair_seq:
+                pair_counts[ptype] -= 1
+                if not pair_counts[ptype]:
+                    del pair_counts[ptype]
+            pair_seq_counts[entry.pair_seq] -= 1
+            if not pair_seq_counts[entry.pair_seq]:
+                del pair_seq_counts[entry.pair_seq]
+            view.total -= 1
+            view.expired += 1
+        if retired and self._obs is not None:
+            self._obs.inc("online.expire.retired", retired)
+
+    def _retire_ledger(self, horizon: float) -> None:
+        """Drop ledger entries anchored below the retention horizon.
+
+        Every view's window is at most ``retention``, so a retired entry
+        has already expired from (or was never counted by) every view —
+        the ledger only serves :meth:`add_view` backfill.
+        """
+        ledger = self._ledger
+        retired = 0
+        while ledger and ledger[0][0] < horizon:
+            heapq.heappop(ledger)
+            retired += 1
+        self._retired += retired
+
+    # ------------------------------------------------------------------
+    # tick-boundary-sensitive restrictions
+    # ------------------------------------------------------------------
+    def _note_tie(self) -> None:
+        """Record a timestamp tie; warn any pending tick-sensitive views."""
+        self._saw_tie = True
+        pending = self._unwarned_sensitive
+        if pending:
+            self._unwarned_sensitive = []
+            for view in pending:
+                if not view.dropped:
+                    self._warn_ties(view)
+
+    def _warn_ties(self, view: _ViewState) -> None:
+        """Warn once when a tick-sensitive predicate meets timestamp ties.
+
+        Predicates marked ``tick_boundary_sensitive`` (the consecutive-
+        events and CDG restrictions) can flip an already committed
+        verdict when a *later* arrival shares the boundary timestamp, so
+        their online counts may diverge from a batch recount on streams
+        with ties.  The engine surfaces that loudly instead of silently
+        diverging.
+        """
+        predicate = view.predicate
+        warnings.warn(
+            f"view {view.name!r} uses a tick-boundary-sensitive restriction "
+            f"({getattr(predicate, '__name__', predicate)!r}) on a stream "
+            "with timestamp ties: a same-tick arrival after discovery can "
+            "flip a committed verdict, so online counts may diverge from a "
+            "batch recount of the window (see the OnlineCensus predicate "
+            "contract)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def counts(self, name: str) -> Counter:
+        """Per-code counts of one exact view (a copy)."""
+        view = self._require_view(name)
+        if view.mode != "exact":
+            raise ValueError(
+                f"view {name!r} is degraded to estimate mode and keeps no "
+                "exact counters; use view_counts()"
+            )
+        if self._now is not None:
+            self._run_wakes(self._now)
+        return Counter(view.code_counts)
+
+    def census(self, name: str) -> MotifCensus:
+        """One exact view's counters as a :class:`MotifCensus` snapshot."""
+        view = self._require_view(name)
+        if view.mode != "exact":
+            raise ValueError(
+                f"view {name!r} is degraded to estimate mode; use view_counts()"
+            )
+        if self._now is not None:
+            self._run_wakes(self._now)
+        return MotifCensus(
+            n_events=self._n_events,
+            constraints=self._constraints,
+            code_counts=Counter(view.code_counts),
+            pair_counts=Counter(view.pair_counts),
+            pair_sequence_counts=Counter(view.pair_seq_counts),
+            total=view.total,
+        )
+
+    def proportions(self, name: str) -> dict[str, float]:
+        return self.census(name).proportions()
+
+    def view_counts(self, name: str) -> dict:
+        """One view's counts as a wire-ready dict (exact or estimated).
+
+        Exact views return ``{"exact": True, "codes": {...}, "total": n,
+        ...}``; degraded views return ``{"exact": False, "codes":
+        {code: estimate}, "stderr": {...}, "q": q, "method":
+        "root_sampling"}`` computed on demand over the current window
+        slice (requires NumPy).
+        """
+        view = self._require_view(name)
+        base = {
+            "view": name,
+            "window": view.window,
+            "mode": view.mode,
+            "discovered": view.discovered,
+            "expired": view.expired,
+        }
+        if view.mode == "exact":
+            if self._now is not None:
+                self._run_wakes(self._now)
+            base.update(
+                exact=True, codes=dict(view.code_counts), total=view.total
+            )
+            return base
+        codes, stderr = self._estimate_view(view)
+        base.update(
+            exact=False,
+            codes=codes,
+            stderr=stderr,
+            q=view.q,
+            method="root_sampling",
+        )
+        return base
+
+    def _estimate_view(self, view: _ViewState) -> tuple[dict, dict]:
+        """Root-sampling estimate over the view's current window slice."""
+        from repro.core._optional import import_numpy
+
+        np = import_numpy()
+        if not np:
+            raise RuntimeError(
+                "degraded views estimate via root sampling, which requires NumPy"
+            )
+        if self._now is None:
+            return {}, {}
+        from repro.algorithms.sampling import estimate_counts_root_sampling
+
+        window_graph = self._graph.slice(self._now - view.window, self._now)
+        if view.nodes is not None:
+            nodes = view.nodes
+            kept = tuple(
+                ev
+                for ev in window_graph.events
+                if ev.u in nodes and ev.v in nodes
+            )
+            window_graph = TemporalGraph(kept)
+        q = view.q or 0.25
+        estimates = estimate_counts_root_sampling(
+            window_graph,
+            self._n_events,
+            self._constraints,
+            q,
+            max_nodes=self._max_nodes,
+            rng=np.random.default_rng(view.seed),
+        )
+        # Horvitz–Thompson per-code standard error: raw sampled count n
+        # has variance n(1-q)/q^2 around the estimate n/q.
+        stderr = {
+            code: (max(est * q, 0.0) * (1.0 - q)) ** 0.5 / q
+            for code, est in estimates.items()
+        }
+        return estimates, stderr
+
+    def describe(self) -> dict:
+        """Engine + per-view summary (what the service's ``stats`` shows)."""
+        return {
+            "retention": self._retention,
+            "now": self._now,
+            "pushed": self._pushed,
+            "discovered": self._discovered,
+            "ledger": len(self._ledger),
+            "prefixes": len(self._prefixes),
+            "views": {
+                name: {
+                    "window": view.window,
+                    "mode": view.mode,
+                    "live": view.total,
+                    "discovered": view.discovered,
+                    "expired": view.expired,
+                    "sliced": view.nodes is not None,
+                    "restricted": view.predicate is not None,
+                }
+                for name, view in self._views.items()
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def prune(self) -> int:
+        """Drop retained events no future arrival or view can touch."""
+        rec = self._obs
+        if rec is None:
+            return self._prune()
+        start = time.perf_counter()
+        dropped = self._prune()
+        rec.observe("online.prune.seconds", time.perf_counter() - start)
+        if dropped:
+            rec.inc("online.prune.dropped", dropped)
+            rec.inc("online.prune.rebases")
+        return dropped
+
+    def _prune(self) -> int:
+        from repro.online.census import _PRUNE_SLACK
+
+        if self._now is None:
+            return 0
+        reach = self._delta if self._delta <= self._retention else self._retention
+        cutoff = self._now - reach
+        if math.isfinite(cutoff):
+            cutoff -= _PRUNE_SLACK * math.ulp(abs(cutoff) + 1.0)
+        storage = self._graph.storage
+        kept = storage.slice_time(cutoff, math.inf).to_events()
+        dropped = len(storage) - len(kept)
+        self._since_prune = 0
+        if dropped <= 0:
+            return 0
+        rebuilt = type(storage).from_events(kept, presorted=True)
+        self._graph = TemporalGraph._from_storage(rebuilt, name=self._graph.name)
+        self._bind_kernel()
+        self._offset += dropped
+        return dropped
+
+    def _bind_kernel(self) -> None:
+        """(Re)bind the plan's kernel to the current retained storage."""
+        self._kernel = self._plan.bind(self._graph.storage)
+
+    def _rebuild_prefixes(self) -> None:
+        """Regrow the prefix store from the retained tail (restore path)."""
+        from repro.online.census import _Prefix
+
+        if self._n_events == 1 or self._now is None:
+            return
+        graph = self._graph
+        now = self._now
+        horizon = now - self._retention
+        event_at = graph.storage.event_at
+        offset = self._offset
+        rebuilt: list[_Prefix] = []
+        for j in range(1, self._n_events):
+            for inst in enumerate_instances(
+                graph, j, self._constraints, max_nodes=self._node_cap
+            ):
+                first = event_at(inst[0])
+                last = event_at(inst[-1])
+                if first.t < horizon:
+                    continue
+                if now > self._constraints.next_event_deadline(first.t, last.t):
+                    continue
+                edges = tuple(event_at(i).edge for i in inst)
+                nodes: tuple[int, ...] = ()
+                for idx in inst:
+                    ev = event_at(idx)
+                    for n in (ev.u, ev.v):
+                        if n not in nodes:
+                            nodes = nodes + (n,)
+                rebuilt.append(
+                    _Prefix(
+                        tuple(i + offset for i in inst),
+                        edges,
+                        nodes,
+                        first.t,
+                        last.t,
+                    )
+                )
+        rebuilt.sort(key=lambda p: (p.t_last, p.seq))
+        for prefix in rebuilt:
+            self._prefixes.add(prefix)
+        self._prefixes._sweep_clock = now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MultiViewCensus {self._n_events}-event "
+            f"{self._constraints.describe()} retention={self._retention:g}: "
+            f"{len(self._views)} views, {self._pushed} events pushed, "
+            f"{len(self._ledger)} ledger entries>"
+        )

@@ -131,6 +131,39 @@ class ServiceClient:
             "push", stream=stream, events=[list(ev) for ev in events], **params
         )
 
+    def view_add(
+        self,
+        view: str,
+        window: float,
+        *,
+        stream: str = "default",
+        nodes: Iterable[int] | None = None,
+        backfill: bool = True,
+        **params: Any,
+    ) -> dict:
+        """Register a named view on a running stream.
+
+        The response's ``degraded`` flag reports whether the server
+        admitted the view in estimate mode (past its ``max_exact_views``
+        budget under the degrade overflow policy).
+        """
+        return self.call(
+            "view_add",
+            stream=stream,
+            view=view,
+            window=window,
+            nodes=None if nodes is None else [int(n) for n in nodes],
+            backfill=backfill,
+            **params,
+        )
+
+    def view_drop(self, view: str, *, stream: str = "default") -> dict:
+        return self.call("view_drop", stream=stream, view=view)
+
+    def view_counts(self, view: str = "default", *, stream: str = "default") -> dict:
+        """One view's counters: exact codes, or estimates with ``stderr``."""
+        return self.call("view_counts", stream=stream, view=view)
+
     def stream_close(self, stream: str = "default") -> dict:
         return self.call("stream_close", stream=stream)
 

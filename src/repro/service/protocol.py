@@ -34,9 +34,19 @@ to restrict to a closed time window, ``max_nodes``, and per-request
 Inline ops (answered by the server process itself):
 
 * ``push``   — append events to a named server-side
-  :class:`~repro.online.OnlineCensus` stream; creates the stream on
-  first use (``window`` required then, plus the usual motif knobs).
-* ``stream_close`` — drop a named stream.
+  :class:`~repro.online.MultiViewCensus` stream; creates the stream
+  (and its ``"default"`` view) on first use (``window`` required then,
+  plus the usual motif knobs and an optional ``retention`` — the
+  largest window any later view may use, defaulting to ``window``).
+* ``view_add`` — register a named view on an existing stream: its own
+  ``window``, optional ``nodes`` slice, optional ``backfill`` (default
+  true).  Under the ``degrade`` overflow policy a server past its
+  ``max_exact_views`` budget admits the view in estimate mode instead
+  of rejecting it.
+* ``view_drop`` — unregister a view.
+* ``view_counts`` — one view's current counters (exact), or its
+  root-sampling estimate with ``stderr`` bars when degraded.
+* ``stream_close`` — drop a named stream and all its views.
 * ``stats``  — service counters + the merged observability snapshot
   (server registry folded with every worker's registry).
 * ``health`` — liveness: worker processes alive, uptime, graph size.
@@ -89,7 +99,15 @@ MAX_LINE_BYTES = 1 << 20
 COMPUTE_OPS = ("census", "count", "window", "estimate", "sleep")
 
 #: Ops answered inline by the server process.
-INLINE_OPS = ("push", "stream_close", "stats", "health")
+INLINE_OPS = (
+    "push",
+    "view_add",
+    "view_drop",
+    "view_counts",
+    "stream_close",
+    "stats",
+    "health",
+)
 
 #: The error vocabulary; ``code`` on every error response is one of these.
 ERROR_CODES = (
@@ -99,6 +117,8 @@ ERROR_CODES = (
     "payload_too_large",  # frame exceeded max_line; connection closes
     "overloaded",  # admission queue full under the reject policy
     "bad_stream",  # push violated stream rules (e.g. time went backwards)
+    "unknown_stream",  # view op addressed a stream no push has created
+    "unknown_view",  # view op addressed a view not registered on the stream
     "worker_died",  # the worker crashed mid-request (pool respawns)
     "timeout",  # the worker exceeded the per-request compute budget
     "internal",  # unexpected server-side failure

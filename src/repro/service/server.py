@@ -12,10 +12,22 @@ over it:
   ``mmap_mode="r"`` (one set of read-only column pages, shared through
   the OS page cache) and reusing the PR 5 memoized plan cache per
   request configuration;
-* the **stream plane** lives in the server process: named
-  :class:`~repro.online.OnlineCensus` engines fed by ``push`` requests,
-  so trailing-window counters are maintained per arriving event without
-  a worker round-trip.
+* the **stream plane** lives in the server process: one shared
+  :class:`~repro.online.MultiViewCensus` engine per pushed stream, fed
+  by ``push`` requests and fanning each arrival into many named views
+  (``view_add``/``view_drop``/``view_counts``) — heterogeneous window
+  lengths and node slices over one graph tail, prefix store and
+  compiled kernel, so trailing-window counters are maintained per
+  arriving event without a worker round-trip.
+
+The view budget extends admission control to the stream plane: beyond
+``max_exact_views`` exact views per stream, ``view_add`` is rejected
+(``overflow="reject"``) or admitted in degraded estimate mode
+(``overflow="degrade"`` — :meth:`MultiViewCensus.degrade_view`, the PR 5
+root-sampling estimator with per-code ``stderr`` bars at read time).
+Shed decisions are counted under ``service.view.shed{policy=...}`` and
+the engines record their ``online.view.*`` lifecycle metrics straight
+into the server registry.
 
 Admission control extends the ``StreamMatcher.shed`` load-shedding
 story to the query path: compute requests beyond ``max_pending``
@@ -81,23 +93,28 @@ def _numpy_available() -> bool:
 
 
 class _Stream:
-    """One named server-side online census plus its bookkeeping."""
+    """One named server-side multi-view census plus its bookkeeping."""
 
     def __init__(self, engine, window: float) -> None:
         self.engine = engine
-        self.window = window
+        self.window = window  # the "default" view's window
         self.created_at = time.monotonic()
 
     def describe(self) -> dict:
-        engine = self.engine
+        info = self.engine.describe()
+        default = info["views"].get("default", {})
+        # The flat keys describe the "default" view (the pre-multi-view
+        # response shape); "retention"/"views" carry the full picture.
         return {
             "window": self.window,
-            "pushed": engine.pushed,
-            "discovered": engine.discovered,
-            "expired": engine.expired,
-            "live": engine.live_instances,
-            "prefixes": engine.live_prefixes,
-            "now": engine.now,
+            "pushed": info["pushed"],
+            "discovered": default.get("discovered", info["discovered"]),
+            "expired": default.get("expired", 0),
+            "live": default.get("live", 0),
+            "prefixes": info["prefixes"],
+            "now": info["now"],
+            "retention": info["retention"],
+            "views": info["views"],
         }
 
 
@@ -124,6 +141,11 @@ class CensusServer:
         ``overflow`` policy applies (``"reject"`` or ``"degrade"``).
     degrade_q:
         Root-sampling probability used for degraded answers.
+    max_exact_views:
+        Per-stream budget of exact (non-degraded) views; ``None`` (the
+        default) means unlimited.  A ``view_add`` past the budget is
+        rejected under ``overflow="reject"`` and admitted in estimate
+        mode under ``overflow="degrade"`` (when NumPy is available).
     """
 
     def __init__(
@@ -144,6 +166,7 @@ class CensusServer:
         max_push_batch: int = DEFAULT_MAX_PUSH_BATCH,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
         stream_backend: str | None = None,
+        max_exact_views: int | None = None,
     ) -> None:
         if overflow not in ("reject", "degrade"):
             raise ValueError("overflow must be 'reject' or 'degrade'")
@@ -162,6 +185,9 @@ class CensusServer:
         self._max_push_batch = max_push_batch
         self._request_timeout = request_timeout
         self._stream_backend = stream_backend
+        if max_exact_views is not None and max_exact_views < 1:
+            raise ValueError("max_exact_views must be >= 1 (or None for no cap)")
+        self._max_exact_views = max_exact_views
 
         self.registry = MetricsRegistry()
         self._streams: dict[str, _Stream] = {}
@@ -327,6 +353,12 @@ class CensusServer:
             return await self._dispatch_compute(request_id, op, obj)
         if op == "push":
             return ok_response(request_id, self._handle_push(obj))
+        if op == "view_add":
+            return ok_response(request_id, self._handle_view_add(obj))
+        if op == "view_drop":
+            return ok_response(request_id, self._handle_view_drop(obj))
+        if op == "view_counts":
+            return ok_response(request_id, self._handle_view_counts(obj))
         if op == "stream_close":
             name = obj.get("stream", "default")
             existed = self._streams.pop(name, None) is not None
@@ -448,13 +480,18 @@ class CensusServer:
         result = {"stream": name, "accepted": accepted}
         result.update(stream.describe())  # "pushed" is the stream's lifetime total
         if obj.get("want_counts"):
-            result["codes"] = dict(engine.counts())
-            result["total"] = engine.census().total
+            payload = self._view_payload(name, stream, obj.get("view", "default"))
+            result["codes"] = payload["codes"]
+            if payload["exact"]:
+                result["total"] = payload["total"]
+            else:
+                result["stderr"] = payload["stderr"]
+                result["degraded"] = True
         return result
 
     def _create_stream(self, obj: Mapping) -> _Stream:
         from repro.core.constraints import TimingConstraints
-        from repro.online import OnlineCensus
+        from repro.online import MultiViewCensus
 
         window = obj.get("window")
         if window is None:
@@ -465,18 +502,131 @@ class CensusServer:
         delta_c, delta_w = protocol.constraint_fields(obj)
         n_events = obj.get("n_events", 3)
         try:
-            engine = OnlineCensus(
+            window = float(window)
+            # Retention bounds the largest window any later view_add may
+            # register; the engine's ledger/prefix horizons follow it.
+            retention = float(obj.get("retention", window))
+            engine = MultiViewCensus(
                 n_events,
                 TimingConstraints(delta_c=delta_c, delta_w=delta_w),
-                float(window),
+                retention,
                 max_nodes=obj.get("max_nodes"),
                 backend=self._stream_backend,
                 prune_every=obj.get("prune_every", 8192),
+                registry=self.registry,
             )
+            engine.add_view("default", window)
         except (TypeError, ValueError) as exc:
             raise ProtocolError("bad_request", f"bad stream config: {exc}") from None
         self.registry.inc("service.streams.created")
-        return _Stream(engine, float(window))
+        return _Stream(engine, window)
+
+    # ------------------------------------------------------------------
+    # view plane
+    # ------------------------------------------------------------------
+    def _require_stream(self, obj: Mapping) -> tuple[str, _Stream]:
+        name = obj.get("stream", "default")
+        if not isinstance(name, str):
+            raise ProtocolError("bad_request", "stream must be a string")
+        stream = self._streams.get(name)
+        if stream is None:
+            raise ProtocolError(
+                "unknown_stream",
+                f"no stream named {name!r}; create it with a push "
+                "(window is required on the first one)",
+            )
+        return name, stream
+
+    @staticmethod
+    def _view_name(obj: Mapping, *, default: str | None = None) -> str:
+        view = obj.get("view", default)
+        if not isinstance(view, str) or not view:
+            raise ProtocolError("bad_request", "view must be a non-empty string")
+        return view
+
+    def _view_payload(self, name: str, stream: _Stream, view: str) -> dict:
+        engine = stream.engine
+        if view not in engine:
+            raise ProtocolError(
+                "unknown_view",
+                f"stream {name!r} has no view {view!r} "
+                f"(have: {sorted(engine.view_names())})",
+            )
+        try:
+            return engine.view_counts(view)
+        except RuntimeError as exc:
+            # A degraded view read without NumPy on the server.
+            raise ProtocolError("bad_request", str(exc)) from None
+
+    def _handle_view_add(self, obj: Mapping) -> dict:
+        name, stream = self._require_stream(obj)
+        view = self._view_name(obj)
+        window = obj.get("window")
+        if window is None:
+            raise ProtocolError("bad_request", "view_add requires a window")
+        nodes = obj.get("nodes")
+        if nodes is not None and not isinstance(nodes, list):
+            raise ProtocolError("bad_request", "nodes must be a list of node ids")
+        engine = stream.engine
+        degrade = False
+        if self._max_exact_views is not None:
+            exact = sum(
+                1
+                for info in engine.describe()["views"].values()
+                if info["mode"] == "exact"
+            )
+            if exact >= self._max_exact_views:
+                if self._overflow == "degrade" and _numpy_available():
+                    degrade = True
+                    self.registry.inc("service.view.shed{policy=degrade}")
+                else:
+                    self.registry.inc("service.view.shed{policy=reject}")
+                    raise ProtocolError(
+                        "overloaded",
+                        f"stream {name!r} already maintains {exact} exact views "
+                        f"(max_exact_views={self._max_exact_views}); drop one "
+                        "or run the server with overflow='degrade'",
+                    )
+        try:
+            engine.add_view(
+                view,
+                float(window),
+                nodes=None if nodes is None else [int(n) for n in nodes],
+                backfill=bool(obj.get("backfill", True)),
+            )
+            if degrade:
+                engine.degrade_view(
+                    view,
+                    q=float(obj.get("q", self._degrade_q)),
+                    seed=obj.get("seed"),
+                )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("bad_request", f"bad view config: {exc}") from None
+        return {
+            "stream": name,
+            "view": view,
+            "window": float(window),
+            "degraded": degrade,
+            "views": len(engine),
+        }
+
+    def _handle_view_drop(self, obj: Mapping) -> dict:
+        name, stream = self._require_stream(obj)
+        view = self._view_name(obj)
+        dropped = stream.engine.drop_view(view)
+        return {
+            "stream": name,
+            "view": view,
+            "dropped": dropped,
+            "views": len(stream.engine),
+        }
+
+    def _handle_view_counts(self, obj: Mapping) -> dict:
+        name, stream = self._require_stream(obj)
+        view = self._view_name(obj, default="default")
+        payload = self._view_payload(name, stream, view)
+        payload["stream"] = name
+        return payload
 
     async def _handle_stats(self, obj: Mapping) -> dict:
         assert self._pool is not None

@@ -28,6 +28,13 @@ EXPECTED_OUTPUT = {
         "events/sec sustained",
         "final window, dominant motifs",
     ],
+    "multiview_monitor.py": [
+        "multi-view census",
+        "views live",
+        "backfilled",
+        "degraded to sampling estimates",
+        "parity vs independent engine: ok",
+    ],
     "census_service.py": [
         "census service up",
         "bit-identical to the serial run_census",

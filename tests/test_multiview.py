@@ -1,0 +1,425 @@
+"""Differential tests: every multi-view window vs an independent engine.
+
+:class:`~repro.online.MultiViewCensus` shares one core (graph tail,
+prefix store, compiled kernel, discovery ledger) across many views, so
+its contract is pinned differentially: after every push, each exact
+unsliced view's counters must be *bit-identical — counter key order
+included —* to an independent single-window
+:class:`~repro.online.OnlineCensus` replaying the same stream, and each
+node-sliced view to an independent engine fed only its slice of the
+stream.  The suite stresses the shapes the fan-out can get wrong:
+tie-heavy bursty streams, heterogeneous window sets, views added and
+dropped mid-stream (ledger backfill), ``prune()`` interleavings, and
+every storage backend.
+
+The tick-boundary warning tests pin the predicate-stability caveat:
+restrictions that judge events at a motif's boundary timestamps warn
+once per view when a stream actually carries a timestamp tie.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.restrictions import (
+    combine,
+    satisfies_cdg,
+    satisfies_consecutive_events,
+)
+from repro.core.constraints import TimingConstraints
+from repro.core.events import Event
+from repro.online import MultiViewCensus, OnlineCensus
+from repro.storage import available_backends
+from tests.test_online import event_streams, tie_free_streams
+
+BACKENDS = tuple(b for b in ("list", "columnar", "numpy") if b in available_backends())
+
+#: The window palette shared by every strategy (small enough that a
+#: mid-stream add can be checked against a from-the-start oracle).
+WINDOW_PALETTE = (3.0, 7.0, 15.0)
+
+CONSTRAINTS = TimingConstraints(delta_c=3.0, delta_w=6.0)
+
+
+def _ordered(counter) -> list:
+    """Counter items *in key order* — the bit-identity the suite pins."""
+    return list(counter.items())
+
+
+def _make_oracles(windows, *, backend=None, prune_every=None):
+    return {
+        w: OnlineCensus(
+            3, CONSTRAINTS, w, max_nodes=3, backend=backend, prune_every=prune_every
+        )
+        for w in set(windows)
+    }
+
+
+def assert_fanout_parity(events, windows, *, backend=None, prune_at=(), **mv_kwargs):
+    """All views registered up front; ordered parity after every push."""
+    engine = MultiViewCensus(
+        3, CONSTRAINTS, max(windows), max_nodes=3, backend=backend, **mv_kwargs
+    )
+    for i, w in enumerate(windows):
+        engine.add_view(f"view-{i}", w)
+    oracles = _make_oracles(windows, backend=backend)
+    for idx, ev in enumerate(events):
+        engine.push(ev)
+        if idx in prune_at:
+            engine.prune()
+        for i, w in enumerate(windows):
+            oracle = oracles[w]
+            if oracle.pushed <= idx:
+                oracle.push(ev)
+            assert _ordered(engine.counts(f"view-{i}")) == _ordered(oracle.counts())
+    return engine
+
+
+window_sets = st.lists(
+    st.sampled_from(WINDOW_PALETTE), min_size=1, max_size=4
+)
+
+
+# ----------------------------------------------------------------------
+# the core differential property
+# ----------------------------------------------------------------------
+@given(event_streams(), window_sets)
+@settings(max_examples=50, deadline=None)
+def test_every_view_matches_independent_engine(events, windows):
+    assert_fanout_parity(events, windows)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@given(events=event_streams(max_events=14), windows=window_sets)
+@settings(max_examples=10, deadline=None)
+def test_fanout_parity_on_every_backend(backend, events, windows):
+    engine = assert_fanout_parity(events, windows, backend=backend)
+    assert engine.graph.backend == backend
+
+
+@given(event_streams(max_events=16), window_sets, st.sets(st.integers(0, 15)))
+@settings(max_examples=20, deadline=None)
+def test_fanout_parity_survives_prune_interleavings(events, windows, prune_at):
+    """Explicit prune() at arbitrary stream positions, plus auto-prune."""
+    assert_fanout_parity(events, windows, prune_at=prune_at, prune_every=3)
+
+
+# ----------------------------------------------------------------------
+# views added and dropped mid-stream
+# ----------------------------------------------------------------------
+@given(
+    event_streams(max_events=18),
+    st.lists(
+        st.tuples(
+            st.integers(0, 17),                    # stream position
+            st.sampled_from(["add", "drop"]),
+            st.sampled_from(WINDOW_PALETTE),
+        ),
+        max_size=6,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_views_added_and_dropped_mid_stream(events, schedule):
+    """Unbounded retention: a backfilled add is bit-identical to an
+    oracle that watched the stream from the start, and stays identical
+    on every later push; drops detach a view without disturbing others.
+    """
+    engine = MultiViewCensus(3, CONSTRAINTS, math.inf, max_nodes=3)
+    oracles = _make_oracles(WINDOW_PALETTE)
+    live: dict[str, float] = {}
+    engine.add_view("view-0", WINDOW_PALETTE[-1])
+    live["view-0"] = WINDOW_PALETTE[-1]
+    n_added = 1
+    by_position: dict[int, list] = {}
+    for pos, action, window in schedule:
+        by_position.setdefault(pos, []).append((action, window))
+    for idx, ev in enumerate(events):
+        engine.push(ev)
+        for oracle in oracles.values():
+            oracle.push(ev)
+        for action, window in by_position.get(idx, ()):
+            if action == "add":
+                name = f"view-{n_added}"
+                n_added += 1
+                engine.add_view(name, window, backfill=True)
+                live[name] = window
+            elif live:
+                name = sorted(live)[0]
+                assert engine.drop_view(name) is True
+                del live[name]
+                with pytest.raises(KeyError):
+                    engine.counts(name)
+        for name, window in live.items():
+            assert _ordered(engine.counts(name)) == _ordered(oracles[window].counts())
+    assert set(engine.view_names()) == set(live)
+
+
+def test_finite_retention_backfill_counter_equality():
+    """With a finite ledger horizon the backfilled view still agrees
+    with a from-the-start oracle as a Counter (key order may differ:
+    the oracle's expired-then-reinserted keys re-enter at the tail)."""
+    rng = random.Random(3)
+    t = 0.0
+    events = []
+    for _ in range(300):
+        t += rng.choice([0.0, 1.0, 1.0, 2.0])
+        u, v = rng.randrange(6), rng.randrange(6)
+        if u == v:
+            v = (v + 1) % 6
+        events.append(Event(u, v, t))
+    events.sort(key=lambda e: (e.t, e.u, e.v))
+
+    engine = MultiViewCensus(3, CONSTRAINTS, 15.0, max_nodes=3)
+    oracle = OnlineCensus(3, CONSTRAINTS, 7.0, max_nodes=3)
+    cut = len(events) // 2
+    for ev in events[:cut]:
+        engine.push(ev)
+        oracle.push(ev)
+    engine.add_view("late", 7.0, backfill=True)
+    assert engine.counts("late") == oracle.counts()
+    for ev in events[cut:]:
+        engine.push(ev)
+        oracle.push(ev)
+        assert engine.counts("late") == oracle.counts()
+
+
+# ----------------------------------------------------------------------
+# node-sliced and restricted views
+# ----------------------------------------------------------------------
+@given(event_streams(max_nodes=6, max_events=20), st.sets(st.integers(0, 5), min_size=2, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_sliced_view_matches_filtered_stream_engine(events, nodes):
+    """A node-sliced view == an independent engine fed only events with
+    both endpoints inside the slice (clock kept in step for expiry)."""
+    engine = MultiViewCensus(3, CONSTRAINTS, 15.0, max_nodes=3)
+    engine.add_view("all", 15.0)
+    engine.add_view("slice", 15.0, nodes=nodes)
+    oracle = OnlineCensus(3, CONSTRAINTS, 15.0, max_nodes=3)
+    for ev in events:
+        engine.push(ev)
+        if ev.u in nodes and ev.v in nodes:
+            oracle.push(ev)
+        else:
+            oracle.advance_to(ev.t)
+        assert _ordered(engine.counts("slice")) == _ordered(oracle.counts())
+
+
+@given(tie_free_streams())
+@settings(max_examples=20, deadline=None)
+def test_restricted_view_matches_predicate_engine(events):
+    engine = MultiViewCensus(3, CONSTRAINTS, 6.0, max_nodes=3)
+    engine.add_view("all", 6.0)
+    engine.add_view(
+        "restricted", 6.0, predicate=satisfies_consecutive_events, backfill=False
+    )
+    oracle = OnlineCensus(
+        3, CONSTRAINTS, 6.0, max_nodes=3, predicate=satisfies_consecutive_events
+    )
+    for ev in events:
+        engine.push(ev)
+        oracle.push(ev)
+        assert _ordered(engine.counts("restricted")) == _ordered(oracle.counts())
+
+
+# ----------------------------------------------------------------------
+# the tick-boundary predicate-stability caveat (regression)
+# ----------------------------------------------------------------------
+class TestTickBoundaryWarning:
+    def _tied_events(self):
+        return [Event(0, 1, 1.0), Event(1, 2, 2.0), Event(2, 3, 2.0)]
+
+    def test_online_census_warns_once_on_first_tie(self):
+        engine = OnlineCensus(
+            3, CONSTRAINTS, 6.0, predicate=satisfies_consecutive_events
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for ev in self._tied_events():
+                engine.push(ev)
+            engine.push(Event(3, 4, 2.0))  # a second tie: no second warning
+        tick = [w for w in caught if "tick-boundary-sensitive" in str(w.message)]
+        assert len(tick) == 1
+        assert issubclass(tick[0].category, RuntimeWarning)
+
+    def test_no_warning_without_ties(self):
+        engine = OnlineCensus(
+            3, CONSTRAINTS, 6.0, predicate=satisfies_consecutive_events
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            for ev in [Event(0, 1, 1.0), Event(1, 2, 2.0), Event(2, 3, 3.0)]:
+                engine.push(ev)
+
+    def test_no_warning_for_stable_predicate(self):
+        def anchored_low(graph, instance):
+            return min(instance) % 2 == 0
+
+        engine = OnlineCensus(3, CONSTRAINTS, 6.0, predicate=anchored_low)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            for ev in self._tied_events():
+                engine.push(ev)
+
+    def test_view_added_after_tie_warns_at_registration(self):
+        engine = MultiViewCensus(3, CONSTRAINTS, 6.0)
+        for ev in self._tied_events():
+            engine.push(ev)
+        with pytest.warns(RuntimeWarning, match="tick-boundary-sensitive"):
+            engine.add_view(
+                "late", 6.0, predicate=satisfies_cdg, backfill=False
+            )
+
+    def test_combined_predicate_inherits_sensitivity(self):
+        combined = combine(satisfies_consecutive_events, satisfies_cdg)
+        assert combined.tick_boundary_sensitive is True
+        engine = OnlineCensus(3, CONSTRAINTS, 6.0, predicate=combined)
+        with pytest.warns(RuntimeWarning, match="tick-boundary-sensitive"):
+            for ev in self._tied_events():
+                engine.push(ev)
+
+
+# ----------------------------------------------------------------------
+# lifecycle, validation, degradation
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="n_events"):
+            MultiViewCensus(0, CONSTRAINTS, 10.0)
+        with pytest.raises(ValueError, match="retention"):
+            MultiViewCensus(3, CONSTRAINTS, 0.0)
+        with pytest.raises(ValueError, match="retention"):
+            MultiViewCensus(3, CONSTRAINTS, float("nan"))
+        with pytest.raises(ValueError, match="prune_every"):
+            MultiViewCensus(3, CONSTRAINTS, 10.0, prune_every=0)
+
+    def test_view_validation(self):
+        engine = MultiViewCensus(3, CONSTRAINTS, 10.0)
+        engine.add_view("a", 5.0)
+        with pytest.raises(ValueError, match="already"):
+            engine.add_view("a", 5.0)
+        with pytest.raises(ValueError, match="window"):
+            engine.add_view("b", 0.0)
+        with pytest.raises(ValueError, match="window"):
+            engine.add_view("b", float("inf"))
+        with pytest.raises(ValueError, match="retention"):
+            engine.add_view("b", 20.0)  # wider than the ledger horizon
+        with pytest.raises(ValueError, match="name"):
+            engine.add_view("", 5.0)
+
+    def test_predicate_views_cannot_backfill(self):
+        engine = MultiViewCensus(3, CONSTRAINTS, 10.0)
+        with pytest.raises(ValueError, match="discovery time"):
+            engine.add_view("p", 5.0, predicate=lambda g, i: True, backfill=True)
+        engine.add_view("p", 5.0, predicate=lambda g, i: True, backfill=False)
+
+    def test_membership_and_describe(self):
+        engine = MultiViewCensus(3, CONSTRAINTS, 10.0)
+        engine.add_view("a", 5.0)
+        engine.add_view("b", 3.0, nodes=[1, 2, 3])
+        assert len(engine) == 2
+        assert "a" in engine and "missing" not in engine
+        assert sorted(engine.view_names()) == ["a", "b"]
+        info = engine.describe()
+        assert info["retention"] == 10.0
+        assert info["views"]["b"]["sliced"] is True
+        assert info["views"]["a"]["mode"] == "exact"
+        with pytest.raises(KeyError, match="no view named"):
+            engine.counts("missing")
+
+    def test_drop_is_idempotent(self):
+        engine = MultiViewCensus(3, CONSTRAINTS, 10.0)
+        engine.add_view("a", 5.0)
+        assert engine.drop_view("a") is True
+        assert engine.drop_view("a") is False
+
+    def test_push_rejects_backward_time_and_advance(self):
+        engine = MultiViewCensus(2, TimingConstraints(delta_w=5.0), 10.0)
+        engine.add_view("a", 10.0)
+        engine.push(Event(0, 1, 5.0))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            engine.push(Event(1, 2, 4.0))
+        with pytest.raises(ValueError, match="backward"):
+            engine.advance_to(1.0)
+
+    def test_degraded_view_estimates_with_stderr(self):
+        pytest.importorskip("numpy", reason="degraded views estimate via sampling")
+        engine = MultiViewCensus(2, TimingConstraints(delta_w=5.0), 10.0)
+        engine.add_view("a", 10.0)
+        engine.push(Event(0, 1, 1.0))
+        engine.push(Event(1, 2, 2.0))
+        engine.degrade_view("a", q=1.0, seed=7)
+        with pytest.raises(ValueError, match="view_counts"):
+            engine.counts("a")
+        payload = engine.view_counts("a")
+        assert payload["exact"] is False
+        assert payload["mode"] == "estimate"
+        assert set(payload["stderr"]) == set(payload["codes"])
+        # q=1.0 samples every root: the estimate is exact.
+        oracle = OnlineCensus(2, TimingConstraints(delta_w=5.0), 10.0)
+        oracle.push(Event(0, 1, 1.0))
+        oracle.push(Event(1, 2, 2.0))
+        assert payload["codes"] == dict(oracle.counts())
+
+    def test_exact_view_counts_payload(self):
+        engine = MultiViewCensus(2, TimingConstraints(delta_w=5.0), 10.0)
+        engine.add_view("a", 10.0)
+        engine.push(Event(0, 1, 1.0))
+        engine.push(Event(1, 2, 2.0))
+        payload = engine.view_counts("a")
+        assert payload["exact"] is True
+        assert payload["total"] == 1
+        assert payload["codes"] == dict(engine.counts("a"))
+
+
+# ----------------------------------------------------------------------
+# the many-view spot check (the acceptance shape, scaled for CI)
+# ----------------------------------------------------------------------
+def test_many_views_spot_check():
+    """120 concurrent views (global + tenant slices) over one bursty
+    stream: a seeded sample must be bit-identical to independent
+    engines — the scaled-down version of the 1000-view acceptance run
+    in benchmarks/bench_multiview.py."""
+    rng = random.Random(20260808)
+    t = 0.0
+    events = []
+    for _ in range(2000):
+        t += rng.choice([0.0, 0.0, 1.0, 1.0, 2.0, 4.0])
+        u, v = rng.randrange(30), rng.randrange(30)
+        if u == v:
+            v = (v + 1) % 30
+        events.append(Event(u, v, t))
+    events.sort(key=lambda e: (e.t, e.u, e.v))
+
+    engine = MultiViewCensus(3, CONSTRAINTS, 15.0, max_nodes=3)
+    specs: dict[str, dict] = {}
+    for i, w in enumerate(WINDOW_PALETTE):
+        name = f"global-{i}"
+        engine.add_view(name, w)
+        specs[name] = {"window": w, "nodes": None}
+    for i in range(117):
+        name = f"tenant-{i}"
+        nodes = frozenset(rng.sample(range(30), 3))
+        window = rng.choice(WINDOW_PALETTE)
+        engine.add_view(name, window, nodes=nodes)
+        specs[name] = {"window": window, "nodes": nodes}
+    assert len(engine) == 120
+
+    for ev in events:
+        engine.push(ev)
+
+    sample = rng.sample(sorted(specs), 6) + ["global-0"]
+    for name in sample:
+        spec = specs[name]
+        oracle = OnlineCensus(3, CONSTRAINTS, spec["window"], max_nodes=3)
+        for ev in events:
+            if spec["nodes"] is None or (ev.u in spec["nodes"] and ev.v in spec["nodes"]):
+                oracle.push(ev)
+            else:
+                oracle.advance_to(ev.t)
+        assert _ordered(engine.counts(name)) == _ordered(oracle.counts()), name

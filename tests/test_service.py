@@ -279,6 +279,201 @@ class TestPushStream:
 
 
 # ----------------------------------------------------------------------
+# the multi-view stream plane
+# ----------------------------------------------------------------------
+class TestMultiViewStream:
+    def test_multiview_push_parity_with_local_engines(self, client, served_events):
+        """Named views over the wire == independent local engines."""
+        name = "mv-parity"
+        oracles = {
+            "default": OnlineCensus(3, CONSTRAINTS, 6000.0, max_nodes=3),
+            "wide": OnlineCensus(3, CONSTRAINTS, 12000.0, max_nodes=3),
+            "narrow": OnlineCensus(3, CONSTRAINTS, 1500.0, max_nodes=3),
+        }
+        client.push(
+            [],
+            stream=name,
+            window=6000.0,
+            retention=12000.0,
+            delta_c=1500.0,
+            delta_w=3000.0,
+            n_events=3,
+            max_nodes=3,
+        )
+        assert client.view_add("wide", 12000.0, stream=name)["degraded"] is False
+        client.view_add("narrow", 1500.0, stream=name)
+        chunk = 60
+        for start in range(0, 300, chunk):
+            batch = served_events[start : start + chunk]
+            result = client.push(batch, stream=name, want_counts=True, view="wide")
+            for oracle in oracles.values():
+                for ev in batch:
+                    oracle.push(ev)
+            # want_counts answered from the requested view, bit-identically.
+            assert list(result["codes"].items()) == list(oracles["wide"].counts().items())
+            for view, oracle in oracles.items():
+                payload = client.view_counts(view, stream=name)
+                assert payload["exact"] is True
+                assert list(payload["codes"].items()) == list(oracle.counts().items())
+                assert payload["total"] == oracle.live_instances
+        assert result["views"]["narrow"]["live"] == oracles["narrow"].live_instances
+        client.stream_close(name)
+
+    def test_view_backfill_on_late_add(self, client, served_events):
+        """A view added mid-stream backfills from the shared ledger."""
+        name = "mv-backfill"
+        oracle = OnlineCensus(3, CONSTRAINTS, 3000.0, max_nodes=3)
+        client.push(
+            served_events[:150],
+            stream=name,
+            window=6000.0,
+            delta_c=1500.0,
+            delta_w=3000.0,
+            n_events=3,
+            max_nodes=3,
+        )
+        for ev in served_events[:150]:
+            oracle.push(ev)
+        added = client.view_add("late", 3000.0, stream=name)
+        assert added["views"] == 2
+        payload = client.view_counts("late", stream=name)
+        assert payload["codes"] == dict(oracle.counts())
+        client.stream_close(name)
+
+    def test_view_ops_error_codes(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.view_add("v", 10.0, stream="never-pushed")
+        assert err.value.code == "unknown_stream"
+        name = "mv-errors"
+        client.push([(0, 1, 1.0)], stream=name, window=50.0, delta_w=10.0)
+        with pytest.raises(ServiceError) as err:
+            client.view_counts("missing", stream=name)
+        assert err.value.code == "unknown_view"
+        with pytest.raises(ServiceError) as err:
+            client.view_add("too-wide", 100.0, stream=name)  # > retention
+        assert err.value.code == "bad_request"
+        assert "retention" in str(err.value)
+        client.stream_close(name)
+
+    def test_view_drop_is_idempotent_over_wire(self, client):
+        name = "mv-drop"
+        client.push([(0, 1, 1.0)], stream=name, window=50.0, delta_w=10.0)
+        client.view_add("v", 25.0, stream=name)
+        assert client.view_drop("v", stream=name)["dropped"] is True
+        assert client.view_drop("v", stream=name)["dropped"] is False
+        with pytest.raises(ServiceError) as err:
+            client.view_counts("v", stream=name)
+        assert err.value.code == "unknown_view"
+        client.stream_close(name)
+
+    def test_view_overload_degrades_to_estimate(self, served_events):
+        pytest.importorskip("numpy")
+        handle = start_in_thread(
+            events=served_events[:50],
+            workers=1,
+            overflow="degrade",
+            max_exact_views=2,
+            degrade_q=1.0,
+        )
+        try:
+            with ServiceClient(handle.host, handle.port) as c:
+                name = "mv-degrade"
+                c.push(
+                    served_events[:200],
+                    stream=name,
+                    window=6000.0,
+                    delta_c=1500.0,
+                    delta_w=3000.0,
+                    n_events=3,
+                    max_nodes=3,
+                )
+                assert c.view_add("exact-2", 3000.0, stream=name)["degraded"] is False
+                # The third exact view busts the budget: admitted degraded.
+                added = c.view_add("shed", 3000.0, stream=name, seed=11)
+                assert added["degraded"] is True
+                payload = c.view_counts("shed", stream=name)
+                assert payload["exact"] is False
+                assert payload["method"] == "root_sampling"
+                assert set(payload["stderr"]) == set(payload["codes"])
+                # q=1.0 samples every root: the estimate equals the truth.
+                exact = c.view_counts("exact-2", stream=name)
+                assert payload["codes"] == exact["codes"]
+                counters = c.stats(timeout=15)["metrics"]["counters"]
+                assert counters["service.view.shed{policy=degrade}"] >= 1
+                assert counters["online.view.degraded"] >= 1
+        finally:
+            handle.stop()
+
+    def test_view_overload_rejects_without_degrade(self, served_events):
+        handle = start_in_thread(
+            events=served_events[:50], workers=1, overflow="reject", max_exact_views=1
+        )
+        try:
+            with ServiceClient(handle.host, handle.port) as c:
+                name = "mv-reject"
+                c.push([(0, 1, 1.0)], stream=name, window=50.0, delta_w=10.0)
+                with pytest.raises(ServiceError) as err:
+                    c.view_add("over", 25.0, stream=name)
+                assert err.value.code == "overloaded"
+                assert "max_exact_views" in str(err.value)
+                counters = c.stats(timeout=15)["metrics"]["counters"]
+                assert counters["service.view.shed{policy=reject}"] >= 1
+        finally:
+            handle.stop()
+
+    def test_worker_death_does_not_disturb_streams(self, served_events):
+        """Streams live in the server process: a worker dying mid-stream
+        loses nothing — named views keep counting through the respawn."""
+        handle = start_in_thread(events=served_events[:50], workers=1)
+        try:
+            oracle = OnlineCensus(3, CONSTRAINTS, 6000.0, max_nodes=3)
+            with ServiceClient(handle.host, handle.port) as c:
+                name = "mv-survivor"
+                c.push(
+                    served_events[:100],
+                    stream=name,
+                    window=6000.0,
+                    delta_c=1500.0,
+                    delta_w=3000.0,
+                    n_events=3,
+                    max_nodes=3,
+                )
+                c.view_add("watch", 3000.0, stream=name)
+                for ev in served_events[:100]:
+                    oracle.push(ev)
+                victim = c.health()["pids"][0]
+                os.kill(victim, signal.SIGKILL)
+                # The stream plane never touches the pool: pushes keep
+                # landing while the dead worker respawns.
+                result = c.push(
+                    served_events[100:200], stream=name, want_counts=True
+                )
+                for ev in served_events[100:200]:
+                    oracle.push(ev)
+                assert result["accepted"] == 100
+                assert result["codes"] == dict(oracle.counts())
+                assert "watch" in result["views"]
+                # The pool notices the death on the next compute request
+                # (which may be the one that trips it), respawns, and the
+                # stream's views are untouched throughout.
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    try:
+                        assert c.count(n_events=2, delta_w=3000.0)["total"] >= 0
+                        break
+                    except ServiceError as exc:
+                        assert exc.code == "worker_died"
+                        time.sleep(0.2)
+                else:
+                    pytest.fail("worker pool did not respawn after SIGKILL")
+                assert c.health()["pids"][0] != victim
+                payload = c.view_counts("watch", stream=name)
+                assert payload["exact"] is True and payload["discovered"] > 0
+        finally:
+            handle.stop()
+
+
+# ----------------------------------------------------------------------
 # stats / health / observability plumbing
 # ----------------------------------------------------------------------
 class TestStatsHealth:
