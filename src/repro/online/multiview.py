@@ -170,7 +170,10 @@ class MultiViewCensus:
         Optional distinct-node cap per instance, shared by every view.
     backend / prune_every:
         As on :class:`~repro.online.census.OnlineCensus`; pruning uses
-        the reach ``min(δ, retention)``.
+        the reach ``min(δ, retention)``, widened to the largest
+        *degraded* view's window — degraded views estimate over the
+        retained window slice at read time, so their whole window must
+        survive pruning even when the timing bound δ is shorter.
     registry:
         Metrics registry to record into (``None`` = the process-global
         :data:`repro.obs.ACTIVE` recorder at construction time).  The
@@ -410,12 +413,12 @@ class MultiViewCensus:
         re-add the view to return to exact counting.
         """
         view = self._require_view(name)
+        if not 0 < q <= 1:
+            raise ValueError("q must be in (0, 1]")
         if view.mode == "estimate":
             view.q = float(q)
             view.seed = seed
             return
-        if not 0 < q <= 1:
-            raise ValueError("q must be in (0, 1]")
         view.mode = "estimate"
         view.q = float(q)
         view.seed = seed
@@ -436,9 +439,11 @@ class MultiViewCensus:
             if view in self._flat:
                 self._flat.remove(view)
         else:
+            # Membership-guarded: drop_view after degrade_view unroutes
+            # twice, and a shared node bucket may still hold other views.
             for node in view.nodes:
                 routed = self._node_index.get(node)
-                if routed is not None:
+                if routed is not None and view in routed:
                     routed.remove(view)
                     if not routed:
                         del self._node_index[node]
@@ -914,7 +919,16 @@ class MultiViewCensus:
 
         if self._now is None:
             return 0
-        reach = self._delta if self._delta <= self._retention else self._retention
+        # Exact views only need the timing bound δ of tail (completed
+        # instances live in their heaps), but degraded views re-read
+        # graph.slice(now - window, now) at estimate time — keep the
+        # largest degraded window's worth of events alive.
+        reach = self._delta
+        for view in self._views.values():
+            if view.mode == "estimate" and view.window > reach:
+                reach = view.window
+        if reach > self._retention:
+            reach = self._retention
         cutoff = self._now - reach
         if math.isfinite(cutoff):
             cutoff -= _PRUNE_SLACK * math.ulp(abs(cutoff) + 1.0)

@@ -366,6 +366,72 @@ class TestLifecycle:
         oracle.push(Event(1, 2, 2.0))
         assert payload["codes"] == dict(oracle.counts())
 
+    def test_degraded_view_estimate_survives_prune(self):
+        """Prune must retain the largest degraded view's window, not just
+        the timing bound δ — the estimator re-reads the window slice at
+        view_counts() time (REVIEW: δ=5 ≪ window=50 undercounted)."""
+        pytest.importorskip("numpy", reason="degraded views estimate via sampling")
+        constraints = TimingConstraints(delta_c=5.0)
+        engine = MultiViewCensus(2, constraints, 50.0)
+        engine.add_view("a", 50.0)
+        rng = random.Random(0)
+        t = 0.0
+        for _ in range(300):
+            t += rng.choice([0.0, 0.5, 1.0])
+            u, v = rng.randrange(10), rng.randrange(10)
+            if u == v:
+                v = (v + 1) % 10
+            engine.push(Event(u, v, t))
+        engine.degrade_view("a", q=1.0, seed=1)
+        before = engine.view_counts("a")["codes"]
+        assert engine.prune() > 0  # still drops events beyond the window
+        assert engine.view_counts("a")["codes"] == before
+        # q=1.0 samples every root: the post-prune estimate stays exact.
+        oracle = OnlineCensus(2, constraints, 50.0)
+        rng = random.Random(0)
+        t = 0.0
+        for _ in range(300):
+            t += rng.choice([0.0, 0.5, 1.0])
+            u, v = rng.randrange(10), rng.randrange(10)
+            if u == v:
+                v = (v + 1) % 10
+            oracle.push(Event(u, v, t))
+        assert before == dict(oracle.counts())
+
+    def test_prune_reach_stays_tight_without_degraded_views(self):
+        """Exact-only engines keep the min(δ, retention) reach."""
+        constraints = TimingConstraints(delta_c=5.0)
+        engine = MultiViewCensus(2, constraints, 50.0)
+        engine.add_view("a", 50.0)
+        for i in range(60):
+            engine.push(Event(i % 7, (i + 1) % 7, float(i)))
+        engine.prune()
+        # Only events within δ=5 of now (plus slack) survive.
+        assert len(engine.graph) <= 7
+
+    def test_drop_after_degrade_on_shared_node_bucket(self):
+        """degrade_view unroutes; a later drop_view must not re-remove
+        from a node bucket another sliced view still occupies."""
+        engine = MultiViewCensus(2, TimingConstraints(delta_w=5.0), 10.0)
+        engine.add_view("s1", 10.0, nodes=[1, 2])
+        engine.add_view("s2", 10.0, nodes=[1, 3])
+        engine.degrade_view("s1", q=0.5)
+        assert engine.drop_view("s1") is True
+        engine.push(Event(1, 3, 1.0))
+        engine.push(Event(1, 3, 2.0))
+        assert engine.counts("s2")
+
+    def test_redegrade_validates_q(self):
+        engine = MultiViewCensus(2, TimingConstraints(delta_w=5.0), 10.0)
+        engine.add_view("a", 10.0)
+        engine.degrade_view("a", q=0.5)
+        for bad in (0.0, -1.0, 1.5):
+            with pytest.raises(ValueError, match="q must be"):
+                engine.degrade_view("a", q=bad)
+        engine.degrade_view("a", q=0.75)  # valid re-degrade still allowed
+        with pytest.raises(ValueError, match="q must be"):
+            engine.degrade_view("a", q=2.0)
+
     def test_exact_view_counts_payload(self):
         engine = MultiViewCensus(2, TimingConstraints(delta_w=5.0), 10.0)
         engine.add_view("a", 10.0)

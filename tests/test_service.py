@@ -404,6 +404,42 @@ class TestMultiViewStream:
         finally:
             handle.stop()
 
+    def test_view_drop_after_degrade_over_wire(self, served_events):
+        """Dropping a degraded node-sliced view must not error even when
+        another sliced view shares a node bucket (regression: double
+        _unroute raised an internal error on the view_drop op)."""
+        pytest.importorskip("numpy")
+        handle = start_in_thread(
+            events=served_events[:50],
+            workers=1,
+            overflow="degrade",
+            max_exact_views=2,
+            degrade_q=1.0,
+        )
+        try:
+            with ServiceClient(handle.host, handle.port) as c:
+                name = "mv-degrade-drop"
+                c.push(
+                    served_events[:100],
+                    stream=name,
+                    window=6000.0,
+                    delta_c=1500.0,
+                    delta_w=3000.0,
+                    n_events=3,
+                    max_nodes=3,
+                )
+                c.view_add("sliced-a", 3000.0, stream=name, nodes=[0, 1, 2])
+                # Shares node buckets with sliced-a; busts the exact
+                # budget, so it is admitted degraded (pre-unrouted).
+                added = c.view_add("shed", 3000.0, stream=name, nodes=[0, 1, 3])
+                assert added["degraded"] is True
+                assert c.view_drop("shed", stream=name)["dropped"] is True
+                # The surviving sliced view still answers exactly.
+                assert c.view_counts("sliced-a", stream=name)["exact"] is True
+                c.push(served_events[100:120], stream=name)
+        finally:
+            handle.stop()
+
     def test_view_overload_rejects_without_degrade(self, served_events):
         handle = start_in_thread(
             events=served_events[:50], workers=1, overflow="reject", max_exact_views=1
