@@ -42,7 +42,10 @@ import json
 import statistics
 
 #: Measurement fields: everything else in a result row identifies the kernel.
-MEASUREMENTS = ("seconds", "speedup")
+#: ``warmup`` (bench_engine's per-kernel first-call cost: lazy indices +
+#: JIT compilation) is a measurement, not an identity field — the gate
+#: compares steady-state seconds only.
+MEASUREMENTS = ("seconds", "speedup", "warmup")
 
 
 def row_key(row: dict) -> tuple:

@@ -12,12 +12,13 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro.algorithms import batched
 from repro.algorithms.enumeration import Instance, enumerate_instances
 from repro.core.constraints import TimingConstraints
 from repro.core.eventpairs import CW_GROUP, RPIO_GROUP, classify_pair
 from repro.core.notation import canonical_code
 from repro.core.temporal_graph import TemporalGraph
-from repro.engine import ExecutionPlan
+from repro.engine import ExecutionPlan, compile_plan, run_plan_blocks
 
 Predicate = Callable[[TemporalGraph, Instance], bool]
 
@@ -312,6 +313,34 @@ def run_census(
     census = MotifCensus(n_events=n_events, constraints=constraints)
     span_filter = set(timespan_codes) if timespan_codes is not None else None
     pos_filter = set(position_codes) if position_codes is not None else None
+
+    # Array-native lane: when the engine can stream instance *blocks*
+    # (native kernel, banded arrays ready) and the motif size fits the
+    # packed fold, the whole census folds as array ops — bit-identical
+    # to the serial loop below, counter key order included.
+    if batched.available() and 2 <= n_events <= batched.MAX_BATCH_EVENTS:
+        if plan is None:
+            plan = compile_plan(
+                n_events, constraints, predicate, graph.storage, max_nodes=max_nodes
+            )
+        arrays = getattr(graph.storage, "extension_arrays", lambda: None)()
+        if arrays is not None:
+            blocks = run_plan_blocks(plan, graph, roots=roots)
+            if blocks is not None:
+                census.total = batched.fold_census_blocks(
+                    census,
+                    blocks,
+                    arrays["t"],
+                    arrays["u"],
+                    arrays["v"],
+                    collect_timespans=collect_timespans,
+                    collect_positions=collect_positions,
+                    span_filter=span_filter,
+                    pos_filter=pos_filter,
+                    sample_cap=sample_cap,
+                )
+                return census
+
     times = graph.times
     # Resolve each event's (u, v) pair once up front: the fold reads a
     # motif's edges per instance, and instances outnumber events.
@@ -386,6 +415,15 @@ def total_instances(
             roots=roots,
             plan=plan,
         )
+    if plan is None and n_events >= 2:
+        plan = compile_plan(
+            n_events, constraints, predicate, graph.storage, max_nodes=max_nodes
+        )
+    if plan is not None:
+        # Block lane: count rows without materializing tuples.
+        blocks = run_plan_blocks(plan, graph, roots=roots)
+        if blocks is not None:
+            return sum(int(block.shape[0]) for block in blocks)
     return sum(
         1
         for _ in enumerate_instances(

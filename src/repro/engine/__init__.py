@@ -23,8 +23,9 @@ This is the only home of the extension-admission arithmetic; see
 ROADMAP.md "Execution engine contract (PR 5)" for the invariants.
 """
 
-from repro.engine.driver import ROOT_BLOCK, run_plan
+from repro.engine.driver import ROOT_BLOCK, run_plan, run_plan_blocks
 from repro.engine.kernels import (
+    KERNEL_FALLBACKS,
     KERNELS,
     ExtensionKernel,
     GenericExtensionKernel,
@@ -32,6 +33,7 @@ from repro.engine.kernels import (
     Partial,
     has_kernel,
     kernel_for,
+    resolve_kernel_name,
 )
 from repro.engine.plan import (
     ExecutionPlan,
@@ -41,6 +43,7 @@ from repro.engine.plan import (
 )
 
 __all__ = [
+    "KERNEL_FALLBACKS",
     "KERNELS",
     "ROOT_BLOCK",
     "ExecutionPlan",
@@ -53,5 +56,7 @@ __all__ = [
     "has_kernel",
     "is_shard_safe",
     "kernel_for",
+    "resolve_kernel_name",
     "run_plan",
+    "run_plan_blocks",
 ]

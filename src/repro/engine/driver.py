@@ -45,6 +45,36 @@ ROOT_BLOCK = 2048
 FIRST_BLOCK = 64
 
 
+def _root_blocks(root_iter: Iterable[int]) -> Iterator[list[int]]:
+    """Chunk roots into the driver's geometric block schedule."""
+    block_cap = FIRST_BLOCK
+    block: list[int] = []
+    for root in root_iter:
+        block.append(root)
+        if len(block) >= block_cap:
+            yield block
+            block = []
+            if block_cap < ROOT_BLOCK:
+                block_cap *= 2
+    if block:
+        yield block
+
+
+def _observe_levels(stats, level_partials, level_ext) -> None:
+    """Mirror the per-level frontier histograms for one native block.
+
+    Matches the Partial-object path's cadence: the root level is always
+    observed; a deeper level only if its frontier was non-empty (the
+    level loop returns before observing an empty frontier).
+    """
+    rec, partials_metric, ext_metric = stats
+    for d in range(len(level_partials)):
+        if d > 0 and level_partials[d] == 0:
+            break
+        rec.observe(partials_metric, int(level_partials[d]))
+        rec.observe(ext_metric, int(level_ext[d]))
+
+
 def run_plan(
     plan: "ExecutionPlan",
     graph: "TemporalGraph",
@@ -89,6 +119,28 @@ def run_plan(
             labeled("engine.frontier.extensions", kernel=plan.kernel_name),
         )
         rec.inc(labeled("engine.run_plan.calls", kernel=plan.kernel_name))
+
+    # Native whole-block lane: the kernel grows each root block to
+    # completion inside one JIT call and hands back the completed
+    # instances as an array in the exact DFS yield order — no Partial
+    # objects, no intermediate triples.  Unavailable (tail appends
+    # pending) routes to the Partial path below, unchanged.
+    expand = getattr(kernel, "expand_block", None)
+    if expand is not None and kernel.block_ready():
+        for block_roots in _root_blocks(root_iter):
+            rows, level_partials, level_ext = expand(block_roots)
+            if stats is not None:
+                _observe_levels(stats, level_partials, level_ext)
+            for row in rows.tolist():
+                inst = tuple(row)
+                if predicate is not None and not predicate(graph, inst):
+                    continue
+                yield inst
+                yielded += 1
+                if max_instances is not None and yielded >= max_instances:
+                    return
+        return
+
     block_cap = FIRST_BLOCK
     block: list[Partial] = []
     for root in root_iter:
@@ -150,3 +202,48 @@ def _expand_block(plan, graph, kernel, frontier, times, m, stats=None) -> Iterat
             stats[0].observe(stats[2], len(frontier))
         if not frontier:
             return
+
+
+def run_plan_blocks(
+    plan: "ExecutionPlan",
+    graph: "TemporalGraph",
+    *,
+    roots: Iterable[int] | None = None,
+):
+    """Array-shaped enumeration: instance blocks instead of tuples.
+
+    Returns a generator of ``(n_i, n_events)`` int64 arrays — one per
+    root block, rows concatenating to exactly :func:`run_plan`'s yield
+    sequence — for consumers that fold instances with array ops (the
+    batched census of :mod:`repro.algorithms.batched`).  Returns
+    ``None`` when the block lane cannot serve this run — single-event
+    plans, a restriction predicate (rows here are unfiltered), a kernel
+    without a block path, or a storage whose banded arrays are pending —
+    and the caller takes the tuple path.
+    """
+    if plan.n_events < 2 or plan.predicate is not None:
+        return None
+    storage = graph.storage
+    kernel = plan.bind(storage)
+    expand = getattr(kernel, "expand_block", None)
+    if expand is None or not kernel.block_ready():
+        return None
+    rec = _obs.ACTIVE
+    stats = None
+    if rec is not None:
+        stats = (
+            rec,
+            labeled("engine.frontier.partials", kernel=plan.kernel_name),
+            labeled("engine.frontier.extensions", kernel=plan.kernel_name),
+        )
+        rec.inc(labeled("engine.run_plan.calls", kernel=plan.kernel_name))
+    root_iter: Iterable[int] = range(len(storage)) if roots is None else roots
+
+    def _blocks():
+        for block_roots in _root_blocks(root_iter):
+            rows, level_partials, level_ext = expand(block_roots)
+            if stats is not None:
+                _observe_levels(stats, level_partials, level_ext)
+            yield rows
+
+    return _blocks()

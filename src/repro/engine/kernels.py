@@ -480,15 +480,78 @@ KERNELS: dict[str, type[ExtensionKernel]] = {"generic": GenericExtensionKernel}
 if np:
     KERNELS["numpy"] = NumpyExtensionKernel
 
+#: The demotion ladder: when an advertised kernel is not registered in
+#: this build, resolution walks down one rung at a time ("native" wants
+#: numba, "numpy" wants NumPy; "generic" is always present).
+KERNEL_FALLBACKS: dict[str, str] = {"native": "numpy", "numpy": "generic"}
+
+_NATIVE_PROBED = False
+
+
+def _probe_native() -> None:
+    """Import the native tier once so it can self-register.
+
+    ``repro.engine.native`` registers ``"native"`` in :data:`KERNELS` at
+    import when numba is present; the import is deferred to first demand
+    (a backend advertising ``"native"``) so numba's import cost is never
+    paid by builds that don't use it.
+    """
+    global _NATIVE_PROBED
+    if _NATIVE_PROBED:
+        return
+    _NATIVE_PROBED = True
+    try:
+        import repro.engine.native  # noqa: F401 - registers on import
+    except Exception:  # pragma: no cover - broken optional install
+        pass
+
+
+def count_kernel_demotion(src: str, dst: str) -> None:
+    """Record one kernel demotion in the obs counters (when enabled).
+
+    Covers both compile-time demotion (numba or NumPy absent at plan
+    resolution) and runtime fallback (tail appends pending, so the
+    banded arrays are unavailable for this call).
+    """
+    rec = _obs.ACTIVE
+    if rec is not None:
+        rec.inc(_obs.labeled("engine.kernel.demote", **{"from": src, "to": dst}))
+
+
+def resolve_kernel_name(name: str) -> str:
+    """Resolve an advertised capability to a kernel registered here.
+
+    Walks :data:`KERNEL_FALLBACKS` one rung at a time, counting each
+    hop in ``engine.kernel.demote{from=...,to=...}`` so a silent
+    fallback is visible in ``stats`` instead of only in timings.
+    """
+    if name == "native":
+        _probe_native()
+    while name not in KERNELS:
+        fallback = KERNEL_FALLBACKS.get(name, "generic")
+        count_kernel_demotion(name, fallback)
+        name = fallback
+    return name
+
 
 def has_kernel(name: str) -> bool:
     """Whether a kernel capability name is implemented in this build."""
+    if name == "native":
+        _probe_native()
     return name in KERNELS
 
 
 def kernel_for(plan: "ExecutionPlan", storage: "GraphStorage") -> ExtensionKernel:
-    """Bind the plan's kernel to one storage engine (generic fallback)."""
-    cls = KERNELS.get(plan.kernel_name, GenericExtensionKernel)
+    """Bind the plan's kernel to one storage engine.
+
+    Plans are picklable and travel to workers, so the kernel *name* is
+    re-resolved here: a plan compiled where numba was present demotes
+    cleanly (and countably) on a worker where it is not.
+    """
+    name = plan.kernel_name
+    if name not in KERNELS:
+        name = resolve_kernel_name(name)
+    cls = KERNELS.get(name, GenericExtensionKernel)
     rec = _obs.ACTIVE
     if rec is not None:
         rec.inc(_obs.labeled("engine.kernel.bind", kernel=cls.kernel_name))

@@ -203,16 +203,33 @@ def compile_plan(
     return plan
 
 
+#: Memo of advertised-capability -> resolved-kernel decisions.  Kernel
+#: availability is stable within a session (it depends on which optional
+#: imports succeeded), so each advertised name is resolved — and its
+#: demotions counted — once, not once per compile_plan call.
+_KERNEL_RESOLUTION_CACHE: dict[str, str] = {}
+
+
 def _advertised_kernel(storage: "GraphStorage | None") -> str:
-    """The kernel a backend advertises, demoted to generic when unknown."""
+    """The kernel a backend advertises, demoted down the fallback chain."""
     if storage is None:
         return "generic"
     name = getattr(storage, "extension_kernel", "generic")
-    from repro.engine.kernels import has_kernel
+    resolved = _KERNEL_RESOLUTION_CACHE.get(name)
+    if resolved is None:
+        from repro.engine.kernels import resolve_kernel_name
 
-    return name if has_kernel(name) else "generic"
+        resolved = _KERNEL_RESOLUTION_CACHE[name] = resolve_kernel_name(name)
+    return resolved
 
 
 def clear_plan_cache() -> None:
-    """Drop every memoized plan (tests and long-lived servers)."""
+    """Drop every memoized plan *and* kernel-capability resolution.
+
+    Tests that monkeypatch :data:`~repro.engine.kernels.KERNELS`
+    (registering or unregistering a kernel mid-session) call this so no
+    stale plan — nor a stale capability decision — survives with a
+    kernel name the current registry can no longer serve.
+    """
     _PLAN_CACHE.clear()
+    _KERNEL_RESOLUTION_CACHE.clear()

@@ -268,16 +268,17 @@ class PartitionedStorage(GraphStorage):
     (event-index -> partition, time -> event-index) happens against the
     manifest, so queries touch only the partitions they need.
 
-    The backend advertises the ``"numpy"`` extension kernel: censuses
-    route through the sharded engine (``prefers_sharded_execution``)
-    whose workers rebuild plain in-memory :class:`NumpyStorage` shards,
-    where the vectorized kernel applies.  Binding a plan directly to
-    this storage stays correct — the numpy kernel falls back to the
-    generic per-node bisection path partition-locally.
+    The backend advertises the ``"native"`` extension kernel (demoting
+    to ``"numpy"`` without numba): censuses route through the sharded
+    engine (``prefers_sharded_execution``) whose workers rebuild plain
+    in-memory :class:`NumpyStorage` shards, where the array kernels
+    apply.  Binding a plan directly to this storage stays correct — the
+    array kernels fall back to the generic per-node bisection path
+    partition-locally.
     """
 
     backend_name: ClassVar[str] = "partitioned"
-    extension_kernel: ClassVar[str] = "numpy"
+    extension_kernel: ClassVar[str] = "native"
     prefers_sharded_execution: ClassVar[bool] = True
     supports_append: ClassVar[bool] = False
 

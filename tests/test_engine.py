@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 import pickle
 from collections import Counter
+from contextlib import contextmanager
 from itertools import combinations
 
 import pytest
@@ -51,6 +52,31 @@ BACKENDS = tuple(b for b in ("list", "columnar", "numpy") if b in available_back
 requires_numpy_backend = pytest.mark.skipif(
     "numpy" not in BACKENDS, reason="the numpy storage backend is not registered"
 )
+
+
+@contextmanager
+def registered_native():
+    """Force-register the native kernel for one test body.
+
+    Without numba the ``@njit`` functions run as plain Python over the
+    same arrays, so this exercises the identical algorithm on every
+    build.  A context manager rather than a fixture: Hypothesis forbids
+    function-scoped fixtures in ``@given`` tests, and registration must
+    wrap each shrunk example, not the whole test function.
+    """
+    from repro.engine import KERNELS
+    from repro.engine.native import NativeExtensionKernel
+
+    added = "native" not in KERNELS
+    if added:
+        KERNELS["native"] = NativeExtensionKernel
+    clear_plan_cache()
+    try:
+        yield
+    finally:
+        if added:
+            del KERNELS["native"]
+        clear_plan_cache()
 
 
 # ----------------------------------------------------------------------
@@ -155,7 +181,12 @@ class TestCompilePlan:
                 [Event(0, 1, 1.0)], presorted=True
             )
             plan = compile_plan(3, constraints, None, storage)
-            expected = "numpy" if backend == "numpy" else "generic"
+            if backend == "numpy":
+                # The numpy backend advertises the JIT tier; without
+                # numba the resolution demotes one rung to "numpy".
+                expected = "native" if has_kernel("native") else "numpy"
+            else:
+                expected = "generic"
             assert plan.kernel_name == expected
             kernel = plan.bind(storage)
             assert kernel.kernel_name == expected
@@ -260,7 +291,12 @@ class TestKernelParity:
             kernel="generic",
         ).bind(graph.storage)
         vectorized = compile_plan(
-            n_events, constraints, None, graph.storage, max_nodes=max_nodes
+            n_events,
+            constraints,
+            None,
+            graph.storage,
+            max_nodes=max_nodes,
+            kernel="numpy",
         ).bind(graph.storage)
         assert vectorized.kernel_name == "numpy"
         m = len(graph)
@@ -339,6 +375,103 @@ class TestKernelParity:
         assert kernel.extend_frontier(partials, 0, m) == (
             generic.extend_frontier(partials, 0, m)
         )
+
+
+# ----------------------------------------------------------------------
+# native (JIT) kernel differential: same contract, third implementation
+# ----------------------------------------------------------------------
+@requires_numpy_backend
+class TestNativeKernelParity:
+    @settings(max_examples=60, deadline=None)
+    @given(event_lists(), configs, st.integers(1, 3))
+    def test_native_kernel_matches_generic_and_numpy(self, events, config, j):
+        n_events, delta_c, delta_w, max_nodes = config
+        if j >= n_events:
+            j = n_events - 1 or 1
+        constraints = _constraints(delta_c, delta_w)
+        with registered_native():
+            graph = TemporalGraph(events, backend="numpy")
+            partials = _prefix_partials(graph, j, constraints, max_nodes)
+            kernels = {}
+            for name in ("generic", "numpy", "native"):
+                kernels[name] = compile_plan(
+                    n_events,
+                    constraints,
+                    None,
+                    graph.storage,
+                    max_nodes=max_nodes,
+                    kernel=name,
+                ).bind(graph.storage)
+            assert kernels["native"].kernel_name == "native"
+            m = len(graph)
+            reference = kernels["generic"].extend_frontier(partials, 0, m)
+            assert kernels["numpy"].extend_frontier(partials, 0, m) == reference
+            assert kernels["native"].extend_frontier(partials, 0, m) == reference
+            # Event-major stitching (the online push shape): one event at
+            # a time covers the same admissible pairs.
+            stitched = [
+                triple
+                for idx in range(m)
+                for triple in kernels["native"].extend_frontier(partials, idx, idx + 1)
+            ]
+            assert sorted(stitched) == sorted(reference)
+
+    @settings(max_examples=50, deadline=None)
+    @given(event_lists(), configs)
+    def test_native_run_plan_and_census_bit_identical(self, events, config):
+        n_events, delta_c, delta_w, max_nodes = config
+        constraints = _constraints(delta_c, delta_w)
+        with registered_native():
+            graph = TemporalGraph(events, backend="numpy")
+            generic_plan = compile_plan(
+                n_events,
+                constraints,
+                None,
+                graph.storage,
+                max_nodes=max_nodes,
+                kernel="generic",
+            )
+            native_plan = compile_plan(
+                n_events, constraints, None, graph.storage, max_nodes=max_nodes
+            )
+            assert native_plan.kernel_name == "native"
+            assert list(run_plan(native_plan, graph)) == list(
+                run_plan(generic_plan, graph)
+            )
+            reference = run_census(
+                graph, n_events, constraints, max_nodes=max_nodes, plan=generic_plan
+            )
+            native = run_census(
+                graph, n_events, constraints, max_nodes=max_nodes, plan=native_plan
+            )
+            assert _census_key(native) == _census_key(reference)
+
+    @settings(max_examples=25, deadline=None)
+    @given(event_lists(max_events=14), configs, st.sampled_from([3.0, 7.0, 15.0]))
+    def test_online_push_parity_under_native_kernel(self, events, config, window):
+        n_events, delta_c, delta_w, max_nodes = config
+        constraints = _constraints(delta_c, delta_w)
+        with registered_native():
+            engine = OnlineCensus(
+                n_events,
+                constraints,
+                window,
+                max_nodes=max_nodes,
+                backend="numpy",
+                prune_every=5,
+            )
+            twin = OnlineCensus(
+                n_events,
+                constraints,
+                window,
+                max_nodes=max_nodes,
+                backend="list",
+                prune_every=5,
+            )
+            for event in events:
+                assert engine.push(event) == twin.push(event)
+            assert engine.counts() == twin.counts()
+            assert list(engine.counts()) == list(twin.counts())
 
 
 # ----------------------------------------------------------------------
